@@ -1,0 +1,80 @@
+"""Sections II-A / III-B — control loops behind the latency budgets.
+
+The paper asserts budgets (surgery needs ~5 ms, vehicles need 10 ms-
+class coordination); these benches derive them from the underlying
+control problems:
+
+* **haptics** — the passivity bound: displayable stiffness falls with
+  RTT; the surgery-grade stiffness survives a ~5 ms loop, not the
+  measured 61+ ms;
+* **platooning** — string stability: the minimum safe headway grows
+  with latency, so lane capacity falls; 6G-class latency buys a
+  double-digit capacity gain;
+* **RRC cold start** — the state-machine tax the first packet of a
+  burst pays, and why AR traffic must keep the connection warm.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.apps import HapticConfig, HapticLoop, PlatoonConfig, PlatoonModel
+from repro.ran import RadioConfig, RrcState, RrcStateMachine
+from repro.sim import RngRegistry
+
+
+def test_haptic_stability_boundary(benchmark):
+    loop = HapticLoop(HapticConfig())
+
+    def boundary():
+        return [(rtt, loop.max_stable_stiffness_n_m(rtt))
+                for rtt in np.linspace(0.0, 0.08, 33)]
+
+    curve = benchmark(boundary)
+    stiffness = [k for _, k in curve]
+    assert all(a > b for a, b in zip(stiffness, stiffness[1:]))
+    assert loop.stable(units.ms(5.0))
+    assert not loop.stable(units.ms(61.0))
+    print(f"\nsurgery-grade stiffness "
+          f"({loop.config.required_stiffness_n_m:.0f} N/m) tolerates "
+          f"{units.to_ms(loop.max_tolerable_rtt_s()):.1f} ms RTT; the "
+          f"measured field (61-110 ms) is unstable")
+
+
+def test_platoon_capacity_vs_latency(benchmark):
+    platoon = PlatoonModel(PlatoonConfig())
+
+    def capacity_curve():
+        return {rtt_ms: platoon.lane_capacity_vph(units.ms(rtt_ms))
+                for rtt_ms in (0.3, 1.0, 5.0, 10.0, 61.0, 110.0)}
+
+    curve = benchmark(capacity_curve)
+    values = list(curve.values())
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    gain = curve[1.0] / curve[61.0]
+    assert gain > 1.05
+    print("\nlane capacity at string-stable headway:")
+    for rtt_ms, vph in curve.items():
+        print(f"  {rtt_ms:6.1f} ms RTT: {vph:6.0f} vehicles/h/lane")
+    print(f"6G-class vs measured-5G capacity gain: {gain:.2f}x")
+
+
+def test_rrc_cold_start_tax(benchmark):
+    def cold_start_costs():
+        rng = RngRegistry(11).stream("rrc.bench")
+        machine = RrcStateMachine(RadioConfig.nr_5g())
+        idle = np.mean([machine.mean_wakeup_cost_s(RrcState.IDLE)])
+        inactive = machine.mean_wakeup_cost_s(RrcState.INACTIVE)
+        sampled = [RrcStateMachine(RadioConfig.nr_5g()).wakeup_cost_s(
+            0.0, rng) for _ in range(200)]
+        return float(idle), float(inactive), float(np.mean(sampled))
+
+    idle, inactive, sampled_mean = benchmark(cold_start_costs)
+    assert inactive < idle
+    assert sampled_mean == pytest.approx(idle, rel=0.25)
+    # The cold tax alone exceeds the AR budget on 5G: events must keep
+    # the connection warm (or pay it).
+    assert idle > units.ms(20.0)
+    print(f"\nRRC wake-up tax: idle {units.to_ms(idle):.1f} ms, "
+          f"inactive {units.to_ms(inactive):.1f} ms — the idle path "
+          f"alone exceeds the 20 ms AR budget")

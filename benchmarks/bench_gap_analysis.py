@@ -1,0 +1,47 @@
+"""Section IV-C — the headline gap numbers.
+
+Paper claims reproduced:
+
+* mobile mean RTL exceeds the 20 ms AR requirement by **~270 %**;
+* mobile mean RTL is **~7x** the wired baseline;
+* the wired baseline itself sits in the 7-12 ms band of [3];
+* every measured cell exceeds the requirement (the gap is structural,
+  not a bad-cell artifact).
+
+Timed work: the gap-analysis derivation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import GapAnalysis
+
+
+def test_gap_analysis(benchmark, evaluation):
+    def analyse():
+        return GapAnalysis().report(evaluation.statistics,
+                                    evaluation.wired_rtts_s)
+
+    report = benchmark(analyse)
+
+    assert report.exceedance_percent == pytest.approx(270.0, abs=20.0)
+    assert report.mobile_wired_factor == pytest.approx(7.0, abs=0.8)
+    wired_ms = units.to_ms(report.wired_mean_s)
+    assert 7.0 < wired_ms < 12.0
+
+    print("\n" + report.summary())
+    print(f"\npaper:    ~270% exceedance, factor of seven vs wired")
+    print(f"measured: {report.exceedance_percent:.0f}% exceedance, "
+          f"{report.mobile_wired_factor:.1f}x vs wired")
+
+
+def test_every_cell_exceeds_requirement(evaluation):
+    budget = units.ms(20.0)
+    for agg in evaluation.statistics.measured_cells():
+        assert agg.mean_s > budget
+
+
+def test_wired_baseline_bench(benchmark, scenario):
+    rtts = benchmark(scenario.wired_baseline, 50)
+    assert 7.0 < float(np.mean(rtts)) * 1e3 < 12.0

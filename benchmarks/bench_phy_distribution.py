@@ -1,0 +1,79 @@
+"""Section IV-C — the Fezeu et al. [22] PHY latency cross-check.
+
+Paper quote: the 5G mmWave system "transmitted 4.4% of packets in under
+1 ms and 22.36% in under 3 ms", with the application layer adding
+~35 ms on average.
+
+Reproduced with an FR2 (mmWave) downlink at a congested operating
+point.  The <1 ms checkpoint matches (4-5 %); the <3 ms checkpoint
+lands at ~28 % versus the paper's 22.36 % — same shape, slightly
+heavier mid-mass, because an exponential buffer tail cannot fully mimic
+mmWave beam-failure bimodality.  Documented in EXPERIMENTS.md.
+
+Timed work: sampling the 20k-packet latency distribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.ran import (
+    AirInterface,
+    Band,
+    ChannelModel,
+    Generation,
+    Numerology,
+    RadioConfig,
+)
+from repro.sim import RngRegistry
+
+
+def fezeu_config() -> RadioConfig:
+    """The congested mmWave operating point (see module docstring)."""
+    return RadioConfig(
+        generation=Generation.FIVE_G,
+        numerology=Numerology(3),         # FR2: 120 kHz SCS
+        band=Band.FR2,
+        sr_period_slots=8,
+        grant_delay_slots=3,
+        harq_rtt_slots=8,
+        target_bler=0.1,
+        max_harq_retx=3,
+        configured_grant=False,
+        processing_base_s=0.5e-3,
+        buffer_service_s=3e-3,
+    )
+
+
+def test_phy_latency_distribution(benchmark):
+    cfg = fezeu_config()
+    air = AirInterface(cfg, ChannelModel(cfg.carrier_frequency_hz,
+                                         antenna_gain_db=25.0))
+
+    def sample_distribution():
+        rng = RngRegistry(3).stream("fezeu")
+        return np.array([air.sample_downlink(rng, load=0.82, sinr_db=9.5)
+                         for _ in range(20_000)])
+
+    samples = benchmark(sample_distribution)
+
+    under_1ms = float((samples < units.ms(1.0)).mean())
+    under_3ms = float((samples < units.ms(3.0)).mean())
+    assert under_1ms == pytest.approx(0.044, abs=0.02)
+    assert 0.18 < under_3ms < 0.35
+
+    print(f"\npaper:    4.40% of packets < 1 ms, 22.36% < 3 ms")
+    print(f"measured: {100 * under_1ms:.2f}% < 1 ms, "
+          f"{100 * under_3ms:.2f}% < 3 ms")
+
+
+def test_application_layer_adds_35ms(evaluation):
+    """Fezeu: 'the application layer added 35 ms' on average.  In our
+    campaign the non-PHY share (core + internet + peer legs) of the
+    mobile mean plays that role — check it sits in the tens of ms."""
+    cfg = RadioConfig.nr_5g()
+    air = AirInterface(cfg, ChannelModel(cfg.carrier_frequency_hz,
+                                         antenna_gain_db=25.0))
+    own_air = air.mean_rtt(load=0.67, sinr_db=15.0)
+    beyond_air = evaluation.gap.mobile_mean_s - own_air
+    assert units.ms(25.0) < beyond_air < units.ms(60.0)

@@ -1,0 +1,71 @@
+"""Section V-C — end-to-end slicing and hypervisor placement.
+
+Paper claims reproduced:
+
+* slice isolation protects URLLC queueing under eMBB pressure, with a
+  crossover at light aggregate load (isolation costs capacity there);
+* hypervisor placement objectives trade off: latency-optimal placement
+  has the worst backup distance, resilience-optimal bounds it, and
+  load-balanced placement caps per-site tenants ([41], [42], [43]).
+
+Timed work: the slicing sweep and a k=3 placement comparison.
+"""
+
+import pytest
+
+from repro import units
+from repro.cn import PlacementObjective
+from repro.core import HypervisorPlacementStudy, SlicingStudy
+
+
+def test_slicing_isolation(benchmark):
+    def run_sweep():
+        study = SlicingStudy()
+        return study.sweep_embb_load(
+            [units.gbps(g) for g in (1.0, 3.0, 5.0, 6.5, 7.6)])
+
+    sweep = benchmark(run_sweep)
+
+    factors = [outcome.improvement_factor for _, outcome in sweep]
+    # Crossover: isolation loses at light load, wins under pressure.
+    assert factors[0] < 1.0
+    assert factors[-1] > 2.0
+    assert all(a <= b + 1e-9 for a, b in zip(factors, factors[1:]))
+
+    print("\neMBB load sweep (URLLC queueing, isolated vs shared):")
+    for (load, outcome), factor in zip(sweep, factors):
+        print(f"  eMBB {load / 1e9:.1f} Gbps: "
+              f"isolated {outcome.isolated_wait_s * 1e6:.1f} us, "
+              f"shared {outcome.shared_wait_s * 1e6:.1f} us "
+              f"({factor:.2f}x)")
+
+
+def test_hypervisor_placement_objectives(benchmark):
+    study = HypervisorPlacementStudy()
+
+    def compare():
+        return study.compare(k=3)
+
+    results = benchmark(compare)
+
+    latency = results[PlacementObjective.LATENCY.value]
+    resilience = results[PlacementObjective.RESILIENCE.value]
+    balance = results[PlacementObjective.LOAD_BALANCE.value]
+    assert resilience.worst_backup_latency_s <= \
+        latency.worst_backup_latency_s + 1e-12
+    assert balance.max_tenants_per_site <= latency.max_tenants_per_site
+
+    print("\nhypervisor placement (k=3):")
+    for name, result in results.items():
+        print(f"  {name}: worst latency "
+              f"{units.to_ms(result.worst_latency_s):.2f} ms, "
+              f"worst backup "
+              f"{units.to_ms(result.worst_backup_latency_s):.2f} ms, "
+              f"max tenants/site {result.max_tenants_per_site}")
+
+
+def test_hypervisor_latency_vs_k(benchmark):
+    study = HypervisorPlacementStudy()
+    curve = benchmark(study.latency_vs_k, [1, 2, 3, 4, 5])
+    values = [v for _, v in curve]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))

@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+The drive-test campaign is expensive relative to the analytical
+benches, so the Section IV artifacts are computed once per session and
+shared; benches that need to *time* campaign execution run their own
+smaller campaigns inside the benchmark loop.
+"""
+
+import pytest
+
+from repro.core import InfrastructureEvaluation
+
+
+@pytest.fixture(scope="session")
+def evaluation():
+    """The full Section IV evaluation at the default seed."""
+    return InfrastructureEvaluation(seed=42).run()
+
+
+@pytest.fixture(scope="session")
+def scenario(evaluation):
+    return evaluation.scenario

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The AR dodgeball use case (Section IV-A) on three networks.
+
+Plays simulated game rounds over (a) the measured 5G field, (b) a 5G
+network with edge UPF integration, and (c) a projected 6G deployment,
+reporting late events, unfair hits and frame-cycle misses for each —
+the quantitative version of "a player is struck by a ball even though
+their physical location no longer aligns".
+
+Run:  python examples/ar_game_latency.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.apps import ARGameSession
+from repro.core import (
+    InfrastructureEvaluation,
+    UpfPlacementStudy,
+    render_comparison_table,
+)
+from repro.ran import RadioConfig
+from repro.sim import RngRegistry
+
+
+def measured_5g_rtts() -> np.ndarray:
+    """RTT samples from the reproduced drive-test campaign."""
+    result = InfrastructureEvaluation(seed=42).run()
+    return np.asarray(result.dataset.rtts)
+
+
+def edge_5g_rtts(n: int = 2000) -> np.ndarray:
+    """Sampled RTTs on a 5G network with the Sec. V-B remedies applied."""
+    study = UpfPlacementStudy()
+    edge = study.deployments()[0]
+    rng = RngRegistry(7).stream("ar.edge")
+    return np.array([study.sample_rtt_s(edge, rng) for _ in range(n)])
+
+
+def projected_6g_rtts(n: int = 2000) -> np.ndarray:
+    """Sampled RTTs on a 6G deployment (100 us air, on-site service)."""
+    study = UpfPlacementStudy(radio_config=RadioConfig.nr_6g(),
+                              air_load=0.5, server_processing_s=1.5e-3)
+    edge = study.deployments()[0]
+    rng = RngRegistry(7).stream("ar.6g")
+    return np.array([study.sample_rtt_s(edge, rng) for _ in range(n)])
+
+
+def main() -> None:
+    session = ARGameSession()
+    rng = RngRegistry(11)
+    rows = []
+    # Intra-site hand-offs between co-located edge services.
+    intra_edge = np.full(64, 0.2e-3)
+    for name, rtts, colocated in (
+            ("measured 5G (drive test)", measured_5g_rtts(), False),
+            ("5G + edge UPF (Sec. V-B)", edge_5g_rtts(), True),
+            ("projected 6G", projected_6g_rtts(), True)):
+        if colocated:
+            # Only the controller stage crosses the access network.
+            stats = session.play_round_stages(
+                [rtts, intra_edge, intra_edge],
+                rng.stream("round", name), throws=500)
+        else:
+            stats = session.play_round(rtts, rng.stream("round", name),
+                                       throws=500)
+        rows.append([
+            name,
+            units.to_ms(float(np.mean(rtts))),
+            "yes" if session.playable(rtts) else "no",
+            100.0 * stats.late_fraction,
+            stats.unfair_hits,
+            100.0 * stats.video_late_fraction,
+        ])
+    print(render_comparison_table(
+        ["network", "mean RTT (ms)", "playable", "late events (%)",
+         "unfair hits /500", "video late (%)"],
+        rows,
+        title="AR dodgeball (20 ms budget, 60 FPS frame cycle)"))
+    print()
+    print("The game needs every service round trip inside 20 ms; the")
+    print("measured 5G field misses by 3-5x, edge UPF integration makes")
+    print("it playable, and 6G leaves headroom for heavier scenes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy-compatible build entry point.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP-517 editable wheels cannot be built; this shim lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

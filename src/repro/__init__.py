@@ -1,0 +1,26 @@
+"""repro — reproduction of '6G Infrastructures for Edge AI: An Analytical
+Perspective' (IPPS 2025).
+
+Subpackages:
+
+* :mod:`repro.sim` — discrete-event simulation kernel
+* :mod:`repro.geo` — coordinates, grid segmentation, population, mobility
+* :mod:`repro.net` — internet substrate with Gao-Rexford policy routing
+* :mod:`repro.ran` — 5G/6G radio access network
+* :mod:`repro.cn` — 5G/6G core network (UPF, QoS, slicing, O-RAN hooks)
+* :mod:`repro.probes` — measurement framework (drive-test campaign)
+* :mod:`repro.apps` — application workloads (AR game, IoT, domains)
+* :mod:`repro.core` — the paper's analysis: scenario, evaluation, remedies
+
+Quickstart::
+
+    from repro.core import InfrastructureEvaluation
+    result = InfrastructureEvaluation(seed=42).run()
+    print(result.figure2())
+    print(result.gap.summary())
+"""
+
+from . import units
+
+__version__ = "1.0.0"
+__all__ = ["units", "__version__"]

@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+evaluate      run the Section IV campaign, print Fig. 2/3, Table I and
+              the gap analysis
+peering       run the Section V-A local-peering what-if
+upf           run the Section V-B UPF placement comparison
+cpf           run the Section V-C control-plane comparison
+requirements  print the Section III requirements matrix
+upgrade       run the Section VI 6G upgrade arms
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import units
+from .apps import all_profiles
+from .core import (
+    CpfEnhancementStudy,
+    FIVE_G_CAPABILITY,
+    InfrastructureEvaluation,
+    KlagenfurtScenario,
+    LocalPeeringExperiment,
+    RequirementsAnalysis,
+    SIX_G_CAPABILITY,
+    SixGUpgradeStudy,
+    UpfPlacementStudy,
+    render_comparison_table,
+)
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    result = InfrastructureEvaluation(seed=args.seed).run()
+    print(result.figure2(), end="\n\n")
+    print(result.figure3(), end="\n\n")
+    print(result.table1(), end="\n\n")
+    print(f"Fig. 4 detour: {result.figure4_km():.0f} km\n")
+    print(result.gap.summary())
+    return 0
+
+
+def cmd_peering(args: argparse.Namespace) -> int:
+    outcome = LocalPeeringExperiment(
+        KlagenfurtScenario(seed=args.seed)).run()
+    print(f"AS path {outcome.before_as_path} -> {outcome.after_as_path}")
+    print(f"route   {outcome.before_path_km:.0f} km -> "
+          f"{outcome.after_path_km:.1f} km")
+    print(f"RTT     {units.to_ms(outcome.before_rtt_s):.1f} ms -> "
+          f"{units.to_ms(outcome.after_rtt_s):.2f} ms "
+          f"({outcome.rtt_reduction_factor:.0f}x)")
+    return 0
+
+
+def cmd_upf(args: argparse.Namespace) -> int:
+    study = UpfPlacementStudy()
+    rows = [[name, units.to_ms(rtt)] for name, rtt in
+            study.compare().items()]
+    print(render_comparison_table(
+        ["deployment", "service RTT (ms)"], rows,
+        title="UPF placement (URLLC profile)"))
+    print(f"edge reduction vs 62 ms: "
+          f"{100 * study.reduction_vs_measured(units.ms(62.0)):.0f}%")
+    return 0
+
+
+def cmd_cpf(args: argparse.Namespace) -> int:
+    comparisons = CpfEnhancementStudy().compare_all()
+    rows = [[c.procedure, units.to_ms(c.centralised_s),
+             units.to_ms(c.ric_consolidated_s),
+             100 * c.improvement_fraction] for c in comparisons]
+    print(render_comparison_table(
+        ["procedure", "centralised (ms)", "RIC-consolidated (ms)",
+         "improvement (%)"], rows,
+        title="Control-plane enhancement"))
+    return 0
+
+
+def cmd_requirements(args: argparse.Namespace) -> int:
+    rows = []
+    for capability in (FIVE_G_CAPABILITY, SIX_G_CAPABILITY):
+        for verdict in RequirementsAnalysis(capability).judge_all(
+                all_profiles()):
+            rows.append([verdict.generation, verdict.application,
+                         "ok" if verdict.satisfied else "FAIL",
+                         verdict.latency_headroom])
+    print(render_comparison_table(
+        ["generation", "application", "verdict", "latency headroom"],
+        rows, title="Requirements analysis (Section III)"))
+    return 0
+
+
+def cmd_upgrade(args: argparse.Namespace) -> int:
+    reports = SixGUpgradeStudy(seed=args.seed,
+                               mean_positions_per_cell=2.0).run()
+    rows = []
+    for name, report in reports.items():
+        rows.append([name, units.to_ms(report.mobile_mean_s),
+                     "yes" if SixGUpgradeStudy.meets_requirement(report)
+                     else "no"])
+    print(render_comparison_table(
+        ["deployment arm", "campaign mean RTL (ms)", "meets 20 ms"],
+        rows, title="6G upgrade study"))
+    return 0
+
+
+COMMANDS = {
+    "evaluate": cmd_evaluate,
+    "peering": cmd_peering,
+    "upf": cmd_upf,
+    "cpf": cmd_cpf,
+    "requirements": cmd_requirements,
+    "upgrade": cmd_upgrade,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of '6G Infrastructures for Edge AI'")
+    parser.add_argument("command", choices=sorted(COMMANDS),
+                        help="which experiment to run")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="scenario seed (default 42)")
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

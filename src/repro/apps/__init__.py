@@ -1,0 +1,38 @@
+"""Application workloads: the AR use case, video, IoT protocols, domains."""
+
+from .ar_game import (
+    AR_RTT_BUDGET_S,
+    ARGameSession,
+    GameRoundStats,
+    ar_service_chain,
+)
+from .base import ApplicationProfile, Service, ServiceChain
+from .federated import FederatedConfig, FederatedRoundModel
+from .haptics import HapticConfig, HapticLoop
+from .iot import PROTOCOLS, IotProtocol, ProtocolStack, overhead_band_s
+from .v2x import PlatoonConfig, PlatoonModel
+from .video import FrameCycleAnalysis, VideoStreamConfig
+from .workloads import (
+    FactoryLine,
+    SmartCityDeployment,
+    all_profiles,
+    ar_gaming,
+    autonomous_vehicle,
+    massive_iot,
+    remote_surgery,
+    smart_city_traffic,
+    smart_factory,
+)
+
+__all__ = [
+    "AR_RTT_BUDGET_S", "ARGameSession", "GameRoundStats", "ar_service_chain",
+    "ApplicationProfile", "Service", "ServiceChain",
+    "FederatedConfig", "FederatedRoundModel",
+    "HapticConfig", "HapticLoop",
+    "PROTOCOLS", "IotProtocol", "ProtocolStack", "overhead_band_s",
+    "FrameCycleAnalysis", "VideoStreamConfig",
+    "PlatoonConfig", "PlatoonModel",
+    "FactoryLine", "SmartCityDeployment", "all_profiles", "ar_gaming",
+    "autonomous_vehicle", "massive_iot", "remote_surgery",
+    "smart_city_traffic", "smart_factory",
+]

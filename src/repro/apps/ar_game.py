@@ -1,0 +1,155 @@
+"""The AR dodgeball use case (Section IV-A).
+
+Two teams throw virtual balls at each other through AR headsets.  Three
+interacting services:
+
+* **Video Streaming Service** — pairs players' views so each sees the
+  opponent's virtual ball in their augmented scene;
+* **Remote Controller Service** — turns a controller action (aim +
+  trigger) into a throw event;
+* **Trajectory Service** — applies the event to the video stream and
+  renders the ball's flight.
+
+A player is *unfairly hit* when the ball's rendered position lags their
+physical position by more than the round-trip budget (20 ms, [15]):
+they dodged in the real world but the stale overlay still hit them.
+The :class:`ARGameSession` quantifies exactly that from an RTT series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from .base import Service, ServiceChain
+from .video import FrameCycleAnalysis, VideoStreamConfig
+
+__all__ = ["AR_RTT_BUDGET_S", "ar_service_chain", "ARGameSession",
+           "GameRoundStats"]
+
+#: Maximum acceptable round-trip latency of the use case ([15]).
+AR_RTT_BUDGET_S: float = units.ms(20.0)
+
+
+def ar_service_chain() -> ServiceChain:
+    """The three-service pipeline of one throw event."""
+    return ServiceChain("ar-dodgeball", [
+        Service("remote-controller", processing_s=1e-3,
+                request_bits=2_000.0, response_bits=1_000.0),
+        Service("trajectory", processing_s=3e-3,
+                request_bits=4_000.0, response_bits=16_000.0),
+        Service("video-streaming", processing_s=4e-3,
+                request_bits=16_000.0, response_bits=200_000.0),
+    ])
+
+
+@dataclass(frozen=True, slots=True)
+class GameRoundStats:
+    """Outcome quality of one simulated round."""
+
+    throws: int
+    late_events: int            #: throws whose pipeline missed the budget
+    unfair_hits: int            #: late events that also landed as hits
+    late_fraction: float
+    video_late_fraction: float  #: frame-cycle misses during the round
+
+
+class ARGameSession:
+    """Evaluates gameplay fairness over a network RTT distribution."""
+
+    def __init__(self, *, budget_s: float = AR_RTT_BUDGET_S,
+                 video: VideoStreamConfig | None = None,
+                 hit_probability: float = 0.35):
+        if budget_s <= 0:
+            raise ValueError("budget must be positive")
+        if not 0.0 <= hit_probability <= 1.0:
+            raise ValueError("hit probability must be in [0, 1]")
+        self.budget_s = budget_s
+        self.chain = ar_service_chain()
+        self.video = video if video is not None else VideoStreamConfig()
+        self.hit_probability = hit_probability
+        self._frames = FrameCycleAnalysis(self.video, budget_s=budget_s)
+
+    def event_latency_s(self, controller_rtt_s: float,
+                        trajectory_rtt_s: float,
+                        video_rtt_s: float) -> float:
+        """One throw's end-to-end latency through the three services."""
+        return self.chain.end_to_end_s(
+            [controller_rtt_s, trajectory_rtt_s, video_rtt_s])
+
+    def play_round(self, rtt_samples_s: np.ndarray,
+                   rng: np.random.Generator, *,
+                   throws: int = 100) -> GameRoundStats:
+        """Simulate ``throws`` events drawing per-service RTTs from the
+        measured distribution (with replacement)."""
+        rtts = np.asarray(rtt_samples_s, dtype=np.float64)
+        if rtts.size == 0:
+            raise ValueError("no RTT samples supplied")
+        if throws < 1:
+            raise ValueError("need at least one throw")
+        draws = rng.choice(rtts, size=(throws, 3), replace=True)
+        latencies = np.array([
+            self.event_latency_s(*draws[i]) for i in range(throws)])
+        late = latencies > self.budget_s
+        hits = rng.random(throws) < self.hit_probability
+        unfair = late & hits
+        video_late = self._frames.late_fraction(rtts)
+        return GameRoundStats(
+            throws=throws,
+            late_events=int(late.sum()),
+            unfair_hits=int(unfair.sum()),
+            late_fraction=float(late.mean()),
+            video_late_fraction=video_late,
+        )
+
+    def play_round_stages(self, stage_samples: list[np.ndarray],
+                          rng: np.random.Generator, *,
+                          throws: int = 100) -> GameRoundStats:
+        """Like :meth:`play_round`, but with one RTT distribution per
+        pipeline stage.
+
+        Deployment-aware accounting: with the services co-located at an
+        edge site, only the controller stage crosses the access network
+        and the trajectory/video hand-offs are intra-site — pass the
+        access-RTT distribution for stage 1 and near-zero distributions
+        for stages 2-3.  The fully distributed variant (every stage
+        remote) is :meth:`play_round`.
+        """
+        if len(stage_samples) != len(self.chain.services):
+            raise ValueError(
+                f"need {len(self.chain.services)} stage distributions")
+        stages = [np.asarray(s, dtype=np.float64) for s in stage_samples]
+        if any(s.size == 0 for s in stages):
+            raise ValueError("every stage needs at least one sample")
+        if throws < 1:
+            raise ValueError("need at least one throw")
+        draws = np.stack([rng.choice(s, size=throws, replace=True)
+                          for s in stages], axis=1)
+        latencies = np.array([
+            self.event_latency_s(*draws[i]) for i in range(throws)])
+        late = latencies > self.budget_s
+        hits = rng.random(throws) < self.hit_probability
+        video_late = self._frames.late_fraction(stages[-1])
+        return GameRoundStats(
+            throws=throws,
+            late_events=int(late.sum()),
+            unfair_hits=int((late & hits).sum()),
+            late_fraction=float(late.mean()),
+            video_late_fraction=video_late,
+        )
+
+    def playable(self, rtt_samples_s: np.ndarray,
+                 max_late_fraction: float = 0.05) -> bool:
+        """Is the game playable on this network?
+
+        Playability criterion: the per-event pipeline (with *zero*
+        processing slack) must meet the budget for at least
+        ``1 - max_late_fraction`` of events.  Network RTT alone above
+        the budget makes this False regardless of processing.
+        """
+        rtts = np.asarray(rtt_samples_s, dtype=np.float64)
+        if rtts.size == 0:
+            raise ValueError("no RTT samples supplied")
+        return float((rtts > self.budget_s).mean()) <= max_late_fraction

@@ -1,0 +1,121 @@
+"""Application modelling primitives.
+
+An application is a graph of :class:`Service` instances plus an
+:class:`ApplicationProfile` capturing its network requirements — the
+quantities Section III tabulates (latency budget, sustained bandwidth,
+daily data volume, device density).  Profiles are consumed by the
+requirements registry in :mod:`repro.core.requirements` and by the gap
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Service", "ServiceChain", "ApplicationProfile"]
+
+
+@dataclass(frozen=True, slots=True)
+class Service:
+    """One deployable service component."""
+
+    name: str
+    #: per-request compute time at its host, seconds
+    processing_s: float
+    #: request/response payload sizes, bits
+    request_bits: float = 8_000.0
+    response_bits: float = 8_000.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("service name must be non-empty")
+        if self.processing_s < 0:
+            raise ValueError("processing time must be non-negative")
+        if self.request_bits <= 0 or self.response_bits <= 0:
+            raise ValueError("payload sizes must be positive")
+
+
+class ServiceChain:
+    """An ordered pipeline of services invoked per application event.
+
+    ``end_to_end_s`` composes one event's latency: for each stage, the
+    network RTT to its host plus its processing time.  The network RTTs
+    are supplied by the caller (they depend on placement), keeping the
+    application model independent of the infrastructure model.
+    """
+
+    def __init__(self, name: str, services: list[Service]):
+        if not services:
+            raise ValueError("service chain must not be empty")
+        names = [s.name for s in services]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate service names in chain")
+        self.name = name
+        self.services = list(services)
+
+    def __len__(self) -> int:
+        return len(self.services)
+
+    def end_to_end_s(self, network_rtts_s: list[float]) -> float:
+        """Total event latency given one network RTT per stage."""
+        if len(network_rtts_s) != len(self.services):
+            raise ValueError(
+                f"need {len(self.services)} RTTs, got {len(network_rtts_s)}")
+        total = 0.0
+        for service, rtt in zip(self.services, network_rtts_s):
+            if rtt < 0:
+                raise ValueError("RTT must be non-negative")
+            total += rtt + service.processing_s
+        return total
+
+    def processing_total_s(self) -> float:
+        """Summed per-stage processing time of the chain."""
+        return sum(s.processing_s for s in self.services)
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Network requirements of one application class (Section III)."""
+
+    name: str
+    #: end-to-end round-trip latency budget, seconds
+    rtt_budget_s: float
+    #: sustained per-user bandwidth, bits/second
+    bandwidth_bps: float
+    #: data generated per device per day, bits (0 if not applicable)
+    daily_volume_bits: float = 0.0
+    #: devices per km^2 in the motivating deployment (0 if n/a)
+    device_density_per_km2: float = 0.0
+    #: matching 5QI class (see repro.cn.qos), if any
+    five_qi: Optional[int] = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile name must be non-empty")
+        if self.rtt_budget_s <= 0:
+            raise ValueError("latency budget must be positive")
+        if self.bandwidth_bps < 0 or self.daily_volume_bits < 0 or \
+                self.device_density_per_km2 < 0:
+            raise ValueError("requirement magnitudes must be non-negative")
+
+    def deadline_miss_fraction(self, rtt_samples_s: np.ndarray) -> float:
+        """Fraction of RTT samples exceeding this profile's budget."""
+        samples = np.asarray(rtt_samples_s, dtype=np.float64)
+        if samples.size == 0:
+            raise ValueError("no samples supplied")
+        return float((samples > self.rtt_budget_s).mean())
+
+    def exceedance_percent(self, measured_rtt_s: float) -> float:
+        """How far a measured RTT overshoots the budget, in percent.
+
+        The paper's headline: mean RTL exceeds the 20 ms requirement "by
+        approximately 270 %" — i.e. ``(measured - budget) / budget``.
+        """
+        if measured_rtt_s < 0:
+            raise ValueError("measured RTT must be non-negative")
+        return (measured_rtt_s - self.rtt_budget_s) \
+            / self.rtt_budget_s * 100.0

@@ -1,0 +1,138 @@
+"""Federated learning at the edge (the paper's future-work direction).
+
+Models the synchronous FedAvg round the 6G-edge literature assumes:
+``K`` clients train locally, upload model updates to an aggregator,
+and download the merged model.  Round time is gated by the *slowest*
+client (the straggler), which is where the network enters:
+
+* upload/download time = model size / per-client goodput, plus the
+  access RTT per protocol round trip;
+* per-client goodput shrinks as more clients share the cell (the MAC
+  scheduler splits capacity);
+* aggregator placement (edge vs cloud) adds its round trip to every
+  exchange.
+
+The model answers the question the paper's outlook poses: what does a
+6G edge buy for distributed learning — and when does the bottleneck
+shift from the network back to compute?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .. import units
+
+__all__ = ["FederatedConfig", "FederatedRoundModel"]
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """One FL deployment."""
+
+    #: model update size, bits (e.g. a few MB for a small CNN)
+    model_size_bits: float = 8 * units.MB
+    #: number of clients selected per round
+    clients_per_round: int = 16
+    #: local training time per client, seconds (compute-bound part)
+    local_compute_s: float = 2.0
+    #: aggregation time at the server, seconds
+    aggregation_s: float = 0.05
+    #: protocol round trips per exchange (TLS + HTTP overhead)
+    protocol_rtts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.model_size_bits <= 0:
+            raise ValueError("model size must be positive")
+        if self.clients_per_round < 1:
+            raise ValueError("need at least one client per round")
+        if self.local_compute_s < 0 or self.aggregation_s < 0:
+            raise ValueError("compute times must be non-negative")
+        if self.protocol_rtts < 1:
+            raise ValueError("at least one protocol round trip")
+
+
+class FederatedRoundModel:
+    """Synchronous FedAvg round-time calculator."""
+
+    def __init__(self, config: FederatedConfig, *,
+                 cell_uplink_bps: float,
+                 cell_downlink_bps: float,
+                 access_rtt_s: float,
+                 aggregator_rtt_s: float = 0.0):
+        """
+        Parameters
+        ----------
+        cell_uplink_bps / cell_downlink_bps:
+            Shared cell capacity in each direction; clients in the same
+            cell split it equally while transferring.
+        access_rtt_s:
+            UE <-> edge round trip (air + core).
+        aggregator_rtt_s:
+            Extra round trip from the edge to the aggregator (0 when
+            the aggregator runs at the edge site itself).
+        """
+        if cell_uplink_bps <= 0 or cell_downlink_bps <= 0:
+            raise ValueError("cell capacities must be positive")
+        if access_rtt_s < 0 or aggregator_rtt_s < 0:
+            raise ValueError("RTTs must be non-negative")
+        self.config = config
+        self.cell_uplink_bps = cell_uplink_bps
+        self.cell_downlink_bps = cell_downlink_bps
+        self.access_rtt_s = access_rtt_s
+        self.aggregator_rtt_s = aggregator_rtt_s
+
+    # -- transfer components ------------------------------------------------
+
+    def _per_client_rate(self, shared_bps: float, concurrent: int) -> float:
+        return shared_bps / concurrent
+
+    def upload_s(self, concurrent: Optional[int] = None) -> float:
+        """Model upload time for one client with ``concurrent`` peers."""
+        n = concurrent if concurrent is not None \
+            else self.config.clients_per_round
+        if n < 1:
+            raise ValueError("concurrent count must be >= 1")
+        rate = self._per_client_rate(self.cell_uplink_bps, n)
+        rtt = self.access_rtt_s + self.aggregator_rtt_s
+        return (self.config.model_size_bits / rate
+                + self.config.protocol_rtts * rtt)
+
+    def download_s(self, concurrent: Optional[int] = None) -> float:
+        """Merged-model download time (usually broadcast-friendly)."""
+        n = concurrent if concurrent is not None \
+            else self.config.clients_per_round
+        if n < 1:
+            raise ValueError("concurrent count must be >= 1")
+        rate = self._per_client_rate(self.cell_downlink_bps, n)
+        rtt = self.access_rtt_s + self.aggregator_rtt_s
+        return (self.config.model_size_bits / rate
+                + self.config.protocol_rtts * rtt)
+
+    # -- round time ---------------------------------------------------------
+
+    def round_time_s(self, straggler_factor: float = 1.3) -> float:
+        """One synchronous round, gated by the slowest client.
+
+        ``straggler_factor`` scales the slowest client's compute+transfer
+        relative to the average (1.0 = perfectly homogeneous cohort).
+        """
+        if straggler_factor < 1.0:
+            raise ValueError("straggler factor must be >= 1")
+        per_client = (self.config.local_compute_s
+                      + self.upload_s() + self.download_s())
+        return per_client * straggler_factor + self.config.aggregation_s
+
+    def rounds_per_hour(self, straggler_factor: float = 1.3) -> float:
+        """Synchronous rounds completed per hour."""
+        return 3600.0 / self.round_time_s(straggler_factor)
+
+    def network_share(self) -> float:
+        """Fraction of the (average) round spent on the network."""
+        transfer = self.upload_s() + self.download_s()
+        total = transfer + self.config.local_compute_s \
+            + self.config.aggregation_s
+        return transfer / total

@@ -1,0 +1,103 @@
+"""Haptic control loops for telemedicine (Sections II-A / III-B).
+
+Remote surgery closes a force-feedback loop over the network: operator
+motion goes out, tissue force comes back, at kilohertz rates.  Control
+theory gives the quantitative requirement the paper's 5 ms-class budget
+stands on: a haptic loop with round-trip delay ``T`` becomes unstable
+beyond a stiffness threshold that *falls with T* (the classic
+passivity/virtual-coupling result: displayable stiffness is bounded by
+``k_max ~ b / T`` for damping ``b``).
+
+:class:`HapticLoop` exposes that boundary plus packet-level accounting
+(update-rate feasibility, deadline misses over an RTT series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+
+__all__ = ["HapticConfig", "HapticLoop"]
+
+
+@dataclass(frozen=True)
+class HapticConfig:
+    """One haptic teleoperation setup."""
+
+    update_rate_hz: float = 1000.0
+    #: virtual-coupling damping, N*s/m
+    damping_ns_m: float = 5.0
+    #: stiffness the task needs (suturing ~ hundreds of N/m)
+    required_stiffness_n_m: float = 300.0
+    #: local processing per cycle (device + controller), seconds
+    processing_s: float = 0.3e-3
+
+    def __post_init__(self) -> None:
+        if self.update_rate_hz <= 0:
+            raise ValueError("update rate must be positive")
+        if self.damping_ns_m <= 0:
+            raise ValueError("damping must be positive")
+        if self.required_stiffness_n_m <= 0:
+            raise ValueError("required stiffness must be positive")
+        if self.processing_s < 0:
+            raise ValueError("processing must be non-negative")
+
+
+class HapticLoop:
+    """Stability and timing analysis of a networked haptic loop."""
+
+    def __init__(self, config: HapticConfig):
+        self.config = config
+
+    # -- stability ------------------------------------------------------
+
+    def max_stable_stiffness_n_m(self, rtt_s: float) -> float:
+        """Displayable stiffness bound at round-trip delay ``rtt_s``.
+
+        ``k_max = 2 b / (T_sample + 2 T_delay)`` — the discrete-time
+        passivity bound with network delay folded into the effective
+        sample period.
+        """
+        if rtt_s < 0:
+            raise ValueError("RTT must be non-negative")
+        cfg = self.config
+        effective_period = (1.0 / cfg.update_rate_hz
+                            + rtt_s + 2.0 * cfg.processing_s)
+        return 2.0 * cfg.damping_ns_m / effective_period
+
+    def stable(self, rtt_s: float) -> bool:
+        """Can the task's required stiffness be displayed stably?"""
+        return self.max_stable_stiffness_n_m(rtt_s) >= \
+            self.config.required_stiffness_n_m
+
+    def max_tolerable_rtt_s(self) -> float:
+        """The RTT at which the required stiffness becomes unstable."""
+        cfg = self.config
+        budget = 2.0 * cfg.damping_ns_m / cfg.required_stiffness_n_m
+        rtt = budget - 1.0 / cfg.update_rate_hz - 2.0 * cfg.processing_s
+        return max(rtt, 0.0)
+
+    # -- timing ----------------------------------------------------------
+
+    def update_rate_feasible(self, rtt_s: float) -> bool:
+        """Can fresh force samples arrive every cycle?  Requires the
+        network round trip to fit inside one update period (with
+        pipelining, the *rate*, not the latency, is the constraint —
+        this checks the stricter non-pipelined case used for safety
+        interlocks)."""
+        if rtt_s < 0:
+            raise ValueError("RTT must be non-negative")
+        return rtt_s + self.config.processing_s <= \
+            1.0 / self.config.update_rate_hz
+
+    def deadline_miss_fraction(self, rtt_samples_s: np.ndarray) -> float:
+        """Fraction of cycles whose feedback misses the update period."""
+        samples = np.asarray(rtt_samples_s, dtype=np.float64)
+        if samples.size == 0:
+            raise ValueError("no samples supplied")
+        period = 1.0 / self.config.update_rate_hz
+        return float(((samples + self.config.processing_s)
+                      > period).mean())

@@ -1,0 +1,101 @@
+"""IoT application-protocol overhead (Section III-A, [14]).
+
+The paper: protocols like MQTT, AMQP and CoAP "contribute an extra 5-8
+milliseconds" that must be minimised to reach user-perceived latency
+below 16 ms.  The model assigns each protocol its published overhead
+structure — broker hops for MQTT/AMQP, direct request/response for
+CoAP, plus QoS-level dependent acknowledgement rounds — and composes it
+with a network RTT.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+
+__all__ = ["IotProtocol", "ProtocolStack", "PROTOCOLS"]
+
+
+class IotProtocol(enum.Enum):
+    """The IoT messaging protocols the [14] survey covers."""
+    MQTT = "mqtt"
+    AMQP = "amqp"
+    COAP = "coap"
+
+
+@dataclass(frozen=True)
+class ProtocolStack:
+    """Latency structure of one IoT messaging protocol."""
+
+    protocol: IotProtocol
+    #: serialisation/parsing + client stack cost per message, seconds
+    stack_overhead_s: float
+    #: broker processing per message (0 for brokerless protocols)
+    broker_processing_s: float
+    #: network traversals per delivered message at QoS 0 semantics:
+    #: 2 for publish->broker->subscriber, 1 for direct request
+    network_legs: int
+    #: extra acknowledgement round trips per QoS level step
+    ack_rounds_per_qos: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stack_overhead_s < 0 or self.broker_processing_s < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.network_legs < 1:
+            raise ValueError("at least one network leg is required")
+        if self.ack_rounds_per_qos < 0:
+            raise ValueError("ack rounds must be non-negative")
+
+    def overhead_s(self, qos: int = 0) -> float:
+        """Protocol-added latency excluding network propagation."""
+        if qos < 0:
+            raise ValueError("QoS level must be non-negative")
+        return (self.stack_overhead_s
+                + self.broker_processing_s
+                + qos * self.ack_rounds_per_qos * self.stack_overhead_s)
+
+    def delivery_latency_s(self, one_way_network_s: float,
+                           qos: int = 0) -> float:
+        """End-to-end publish-to-receive latency over a given network."""
+        if one_way_network_s < 0:
+            raise ValueError("network latency must be non-negative")
+        legs = self.network_legs + qos * self.ack_rounds_per_qos * 2
+        return legs * one_way_network_s + self.overhead_s(qos)
+
+
+#: Calibrated to the [14] survey's 5-8 ms protocol-overhead band
+#: (QoS 0/1, LAN-class networks).
+PROTOCOLS: dict[IotProtocol, ProtocolStack] = {
+    IotProtocol.MQTT: ProtocolStack(
+        protocol=IotProtocol.MQTT,
+        stack_overhead_s=units.ms(1.5),
+        broker_processing_s=units.ms(3.5),
+        network_legs=2,
+    ),
+    IotProtocol.AMQP: ProtocolStack(
+        protocol=IotProtocol.AMQP,
+        stack_overhead_s=units.ms(2.0),
+        broker_processing_s=units.ms(6.0),
+        network_legs=2,
+    ),
+    IotProtocol.COAP: ProtocolStack(
+        protocol=IotProtocol.COAP,
+        stack_overhead_s=units.ms(2.5),    # UDP + DTLS-lite client stack
+        broker_processing_s=units.ms(2.5),  # resource server handling
+        network_legs=1,
+    ),
+}
+
+
+def overhead_band_s() -> tuple[float, float]:
+    """(min, max) protocol overhead across the modelled stacks at QoS 0.
+
+    Reproduces the paper's "extra 5-8 milliseconds" claim; asserted by
+    the requirements bench.
+    """
+    values = [stack.overhead_s(qos=0) for stack in PROTOCOLS.values()]
+    return min(values), max(values)

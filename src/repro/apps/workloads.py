@@ -1,0 +1,159 @@
+"""Domain workloads from the paper's motivation sections.
+
+Each factory returns the :class:`~repro.apps.base.ApplicationProfile`
+for one application class, with the paper's own magnitudes:
+
+* autonomous vehicles — up to 4 TB/day of sensor data (Sec. III-B);
+* telemedicine / remote surgery — >10 GB/day, haptic-grade latency
+  (Sec. II-A, III-B);
+* smart city — adaptive traffic management across up to 50,000
+  intersections (Sec. III-C);
+* smart factory — >5 TB/day per automated line (Sec. III-C);
+* AR gaming — the Sec. IV-A use case (20 ms budget, 60 FPS);
+* massive IoT — the 125-billion-devices-by-2030 trajectory (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+from .base import ApplicationProfile
+
+__all__ = [
+    "autonomous_vehicle",
+    "remote_surgery",
+    "smart_city_traffic",
+    "smart_factory",
+    "ar_gaming",
+    "massive_iot",
+    "all_profiles",
+    "SmartCityDeployment",
+    "FactoryLine",
+]
+
+
+def autonomous_vehicle() -> ApplicationProfile:
+    """V2X coordination: ~4 TB/day, 10 ms-class event latency."""
+    return ApplicationProfile(
+        name="autonomous-vehicle",
+        rtt_budget_s=units.ms(10.0),
+        bandwidth_bps=4 * units.TB / units.DAY,   # sustained average
+        daily_volume_bits=4 * units.TB,
+        device_density_per_km2=2_000.0,           # dense urban traffic
+        five_qi=83,
+        notes="multi-modal sensor fusion + HD map updates",
+    )
+
+
+def remote_surgery() -> ApplicationProfile:
+    """Telemedicine: HD video + haptics, 5 ms-class control loop."""
+    return ApplicationProfile(
+        name="remote-surgery",
+        rtt_budget_s=units.ms(5.0),
+        bandwidth_bps=units.mbps(120.0),          # HD video + haptic channel
+        daily_volume_bits=10 * units.GB,
+        five_qi=85,
+        notes="haptic feedback loop dominates the budget",
+    )
+
+
+def smart_city_traffic() -> ApplicationProfile:
+    """Adaptive traffic management (Tokyo-scale, 50k intersections)."""
+    return ApplicationProfile(
+        name="smart-city-traffic",
+        rtt_budget_s=units.ms(100.0),
+        bandwidth_bps=units.mbps(4.0),            # per intersection
+        device_density_per_km2=25_000.0,          # sensors + cameras
+        five_qi=3,
+        notes="50,000 intersections analysed simultaneously",
+    )
+
+
+def smart_factory() -> ApplicationProfile:
+    """Industrial automation line: >5 TB/day, discrete-automation QoS."""
+    return ApplicationProfile(
+        name="smart-factory",
+        rtt_budget_s=units.ms(10.0),
+        bandwidth_bps=5 * units.TB / units.DAY,
+        daily_volume_bits=5 * units.TB,
+        device_density_per_km2=100_000.0,         # dense sensor deployment
+        five_qi=82,
+        notes="tens of thousands of sensors per line",
+    )
+
+
+def ar_gaming() -> ApplicationProfile:
+    """The Sec. IV-A AR dodgeball game."""
+    return ApplicationProfile(
+        name="ar-gaming",
+        rtt_budget_s=units.ms(20.0),
+        bandwidth_bps=units.mbps(50.0),           # bidirectional 4K stream
+        five_qi=80,
+        notes="motion-to-photon < 20 ms; 60 FPS frame cycle",
+    )
+
+
+def massive_iot() -> ApplicationProfile:
+    """The 2030 massive-IoT regime: density over per-device speed."""
+    return ApplicationProfile(
+        name="massive-iot",
+        rtt_budget_s=units.ms(1000.0),
+        bandwidth_bps=units.RATE_KBPS * 50.0,
+        device_density_per_km2=1_000_000.0,       # 6G target density
+        five_qi=9,
+        notes="125 billion devices globally by 2030",
+    )
+
+
+def all_profiles() -> list[ApplicationProfile]:
+    """Every modelled application class."""
+    return [autonomous_vehicle(), remote_surgery(), smart_city_traffic(),
+            smart_factory(), ar_gaming(), massive_iot()]
+
+
+# ---------------------------------------------------------------------------
+# Deployment-scale helpers used by examples and the scalability bench
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SmartCityDeployment:
+    """Aggregate demand of a city-scale traffic system."""
+
+    intersections: int = 50_000
+    per_intersection_bps: float = units.mbps(4.0)
+
+    def __post_init__(self) -> None:
+        if self.intersections < 1 or self.per_intersection_bps <= 0:
+            raise ValueError("deployment parameters must be positive")
+
+    @property
+    def aggregate_bps(self) -> float:
+        return self.intersections * self.per_intersection_bps
+
+    def fits_in(self, capacity_bps: float) -> bool:
+        """Can a given backhaul capacity carry the whole deployment?"""
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        return self.aggregate_bps <= capacity_bps
+
+
+@dataclass(frozen=True)
+class FactoryLine:
+    """One automated manufacturing line."""
+
+    sensors: int = 20_000
+    daily_volume_bits: float = 5 * units.TB
+
+    def __post_init__(self) -> None:
+        if self.sensors < 1 or self.daily_volume_bits <= 0:
+            raise ValueError("factory parameters must be positive")
+
+    @property
+    def mean_rate_bps(self) -> float:
+        """Sustained average rate implied by the daily volume."""
+        return self.daily_volume_bits / units.DAY
+
+    @property
+    def per_sensor_bps(self) -> float:
+        return self.mean_rate_bps / self.sensors

@@ -1,0 +1,21 @@
+"""5G/6G core network: NFs, SBI, procedures, UPF, QoS, slicing, hypervisors."""
+
+from .gtp import GtpTunnel
+from .hypervisor import HypervisorPlanner, PlacementObjective, PlacementResult
+from .nf import NetworkFunction, NFKind, SbiBus, SiteTier
+from .procedures import ProcedureBuilder
+from .qos import FIVE_QI, ContextAwareRuleEngine, QosClass, QosFlow
+from .slicing import NetworkSlice, SliceManager, SliceType
+from .smartnic import LATENCY_FACTOR, THROUGHPUT_GAIN, offload
+from .upf import UserPlaneFunction
+
+__all__ = [
+    "GtpTunnel",
+    "HypervisorPlanner", "PlacementObjective", "PlacementResult",
+    "NetworkFunction", "NFKind", "SbiBus", "SiteTier",
+    "ProcedureBuilder",
+    "FIVE_QI", "ContextAwareRuleEngine", "QosClass", "QosFlow",
+    "NetworkSlice", "SliceManager", "SliceType",
+    "offload", "THROUGHPUT_GAIN", "LATENCY_FACTOR",
+    "UserPlaneFunction",
+]

@@ -1,0 +1,76 @@
+"""GTP-U tunnelling: the encapsulation tax of the mobile user plane.
+
+Every user-plane packet between gNB and UPF rides a GTP-U tunnel:
+outer IP + UDP + GTP-U headers on top of the user's own packet.  Two
+consequences matter for the paper's bandwidth arithmetic (Sec. III-B):
+
+* **goodput loss** — the headers consume a fixed share of every
+  transport-block byte, largest for the small packets IoT and gaming
+  send;
+* **fragmentation** — a user packet near the path MTU no longer fits
+  once encapsulated and must be fragmented (or dropped, with TCP MSS
+  clamping as the workaround), doubling per-packet overhead exactly
+  where throughput matters most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GtpTunnel"]
+
+#: Header sizes, bytes.
+OUTER_IPV4 = 20
+OUTER_UDP = 8
+GTP_U = 8          # mandatory GTP-U header
+EXTENSION = 4      # PDU session container (5G QFI marking)
+
+
+@dataclass(frozen=True)
+class GtpTunnel:
+    """One GTP-U tunnel over a path with a given MTU."""
+
+    path_mtu_bytes: int = 1500
+    use_extension_header: bool = True    #: 5G QFI marking
+
+    def __post_init__(self) -> None:
+        if self.path_mtu_bytes < 576:
+            raise ValueError("path MTU below the IPv4 minimum")
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Encapsulation bytes added to every packet."""
+        base = OUTER_IPV4 + OUTER_UDP + GTP_U
+        return base + (EXTENSION if self.use_extension_header else 0)
+
+    @property
+    def max_user_payload_bytes(self) -> int:
+        """Largest user packet that fits without fragmentation."""
+        return self.path_mtu_bytes - self.overhead_bytes
+
+    def fragments(self, user_packet_bytes: int) -> int:
+        """Number of on-the-wire packets for one user packet."""
+        if user_packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        limit = self.max_user_payload_bytes
+        return -(-user_packet_bytes // limit)   # ceil division
+
+    def wire_bytes(self, user_packet_bytes: int) -> int:
+        """Total on-the-wire bytes for one user packet."""
+        n = self.fragments(user_packet_bytes)
+        return user_packet_bytes + n * self.overhead_bytes
+
+    def goodput_efficiency(self, user_packet_bytes: int) -> float:
+        """user bytes / wire bytes for a given packet size."""
+        return user_packet_bytes / self.wire_bytes(user_packet_bytes)
+
+    def effective_goodput_bps(self, link_rate_bps: float,
+                              user_packet_bytes: int) -> float:
+        """Achievable user-data rate on a link of ``link_rate_bps``."""
+        if link_rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        return link_rate_bps * self.goodput_efficiency(user_packet_bytes)
+
+    def mss_clamp_bytes(self, tcp_ip_headers: int = 40) -> int:
+        """TCP MSS that avoids fragmentation through this tunnel."""
+        return self.max_user_payload_bytes - tcp_ip_headers

@@ -1,0 +1,145 @@
+"""Control-plane network functions and the service-based interface.
+
+The 5G core is a mesh of network functions (AMF, SMF, PCF, UDM, ...)
+talking over the service-based interface (SBI).  For latency purposes a
+control transaction is: network hop to the NF's site, queueing at the
+NF, processing, hop back.  Section V-C's argument hinges on *where*
+these functions run — a centralised core site hundreds of kilometres
+from the gNB versus an edge site co-located with the CU — so placement
+is a first-class attribute here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .. import units
+from ..geo.coords import GeoPoint
+from ..net.queueing import mm1_residence, sample_mm1_wait
+
+__all__ = ["NFKind", "SiteTier", "NetworkFunction", "SbiBus"]
+
+
+class NFKind(enum.Enum):
+    """3GPP network-function types used by the procedures."""
+
+    AMF = "amf"    #: access & mobility management
+    SMF = "smf"    #: session management
+    PCF = "pcf"    #: policy control
+    UDM = "udm"    #: unified data management (subscriber data)
+    AUSF = "ausf"  #: authentication server
+    NEF = "nef"    #: network exposure
+    NRF = "nrf"    #: NF repository (discovery)
+    RIC_APP = "ric_app"  #: consolidated CPF hosted on a Near-RT RIC
+
+
+class SiteTier(enum.Enum):
+    """Where an NF (or UPF) is deployed."""
+
+    CENTRAL_CLOUD = "central_cloud"   #: public-cloud region (far)
+    REGIONAL_CORE = "regional_core"   #: operator core site (e.g. Vienna)
+    EDGE = "edge"                     #: metro/edge site (e.g. Klagenfurt)
+
+
+#: Typical per-transaction processing time by NF kind, seconds.
+DEFAULT_PROCESSING_S: dict[NFKind, float] = {
+    NFKind.AMF: 2.0e-3,
+    NFKind.SMF: 2.5e-3,
+    NFKind.PCF: 1.5e-3,
+    NFKind.UDM: 1.0e-3,
+    NFKind.AUSF: 1.5e-3,
+    NFKind.NEF: 1.0e-3,
+    NFKind.NRF: 0.5e-3,
+    NFKind.RIC_APP: 1.5e-3,
+}
+
+
+@dataclass
+class NetworkFunction:
+    """One control-plane NF instance."""
+
+    name: str
+    kind: NFKind
+    location: GeoPoint
+    tier: SiteTier = SiteTier.REGIONAL_CORE
+    processing_s: float = -1.0
+    #: transaction-level utilisation of the NF worker pool
+    load: float = 0.0
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("NF name must be non-empty")
+        if self.processing_s < 0.0:
+            self.processing_s = DEFAULT_PROCESSING_S[self.kind]
+        if not 0.0 <= self.load < 1.0:
+            raise ValueError(f"NF load must be in [0, 1), got {self.load}")
+
+    def mean_response_s(self) -> float:
+        """Mean in-NF residence time (M/M/1 at the configured load)."""
+        return mm1_residence(self.load, self.processing_s)
+
+    def sample_response_s(self, rng: np.random.Generator) -> float:
+        """Sampled residence: waiting (M/M/1) plus deterministic service."""
+        wait = float(sample_mm1_wait(self.load, self.processing_s, rng))
+        return wait + self.processing_s
+
+
+class SbiBus:
+    """Latency oracle for NF-to-NF (and RAN-to-NF) signalling.
+
+    Signalling between two sites costs one-way fibre propagation at the
+    geographic distance (with circuity) plus a fixed per-message stack
+    cost (HTTP/2 + TLS + kernel on both ends).
+    """
+
+    def __init__(self, *, per_message_overhead_s: float = 0.3e-3,
+                 circuity: float = 1.05):
+        if per_message_overhead_s < 0:
+            raise ValueError("per-message overhead must be non-negative")
+        if circuity < 1.0:
+            raise ValueError("circuity must be >= 1")
+        self.per_message_overhead_s = per_message_overhead_s
+        self.circuity = circuity
+        self._nfs: dict[str, NetworkFunction] = {}
+
+    # -- registry ------------------------------------------------------------
+
+    def register(self, nf: NetworkFunction) -> NetworkFunction:
+        """Register an NF on the bus; duplicate names are rejected."""
+        if nf.name in self._nfs:
+            raise ValueError(f"duplicate NF name {nf.name!r}")
+        self._nfs[nf.name] = nf
+        return nf
+
+    def nf(self, name: str) -> NetworkFunction:
+        """Look up a registered NF by name."""
+        try:
+            return self._nfs[name]
+        except KeyError:
+            raise KeyError(f"unknown NF {name!r}") from None
+
+    def find(self, kind: NFKind,
+             tier: Optional[SiteTier] = None) -> list[NetworkFunction]:
+        """All registered NFs of a kind (optionally at one tier)."""
+        return [nf for nf in self._nfs.values()
+                if nf.kind == kind and (tier is None or nf.tier == tier)]
+
+    # -- latency -----------------------------------------------------------
+
+    def hop_s(self, a: GeoPoint, b: GeoPoint) -> float:
+        """One-way signalling latency between two sites."""
+        distance = a.distance_to(b) * self.circuity
+        return units.fibre_delay(distance) + self.per_message_overhead_s
+
+    def request_response_s(self, origin: GeoPoint, nf: NetworkFunction,
+                           rng: Optional[np.random.Generator] = None
+                           ) -> float:
+        """Full transaction: hop there, residence at the NF, hop back."""
+        residence = (nf.mean_response_s() if rng is None
+                     else nf.sample_response_s(rng))
+        return 2.0 * self.hop_s(origin, nf.location) + residence

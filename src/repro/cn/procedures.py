@@ -1,0 +1,106 @@
+"""3GPP control procedures as signalling-leg sequences.
+
+Builds :class:`~repro.ran.oran.ControlProcedure` objects for the two
+procedures the paper's control-plane discussion turns on:
+
+* **registration** (authentication + policy association) — TS 23.502
+  fig. 4.2.2.2-2, reduced to its latency-bearing legs;
+* **PDU session establishment** — TS 23.502 fig. 4.3.2.2.1-1 likewise.
+
+Each builder takes the serving sites explicitly, so the CPF-enhancement
+experiment (Sec. V-C) can compare a classical core deployment against a
+Near-RT-RIC-consolidated deployment ([38]) by literally moving the AMF/
+SMF functionality to the edge and rebuilding the same procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geo.coords import GeoPoint
+from ..ran.oran import ControlProcedure
+from .nf import NetworkFunction, SbiBus
+
+__all__ = ["ProcedureBuilder"]
+
+
+class ProcedureBuilder:
+    """Builds control procedures over a given SBI deployment."""
+
+    def __init__(self, bus: SbiBus, *, air_one_way_s: float = 5e-3):
+        """``air_one_way_s``: one-way UE<->gNB signalling latency (SRB)."""
+        if air_one_way_s < 0:
+            raise ValueError("air latency must be non-negative")
+        self.bus = bus
+        self.air_one_way_s = air_one_way_s
+
+    def _nf_leg(self, proc: ControlProcedure, description: str,
+                origin: GeoPoint, nf: NetworkFunction,
+                rng: Optional[np.random.Generator]) -> None:
+        proc.add(description,
+                 self.bus.request_response_s(origin, nf, rng))
+
+    # -- procedures ---------------------------------------------------------
+
+    def registration(self, gnb_site: GeoPoint, *, amf: NetworkFunction,
+                     ausf: NetworkFunction, udm: NetworkFunction,
+                     pcf: NetworkFunction,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> ControlProcedure:
+        """UE registration: auth + subscription fetch + policy setup."""
+        proc = ControlProcedure("registration")
+        proc.add("UE -> gNB: RRC + NAS registration request",
+                 self.air_one_way_s)
+        self._nf_leg(proc, "gNB <-> AMF: N2 initial UE message",
+                     gnb_site, amf, rng)
+        self._nf_leg(proc, "AMF <-> AUSF: authentication",
+                     amf.location, ausf, rng)
+        self._nf_leg(proc, "AUSF <-> UDM: auth vectors",
+                     ausf.location, udm, rng)
+        proc.add("AMF <-> gNB: NAS transport (auth challenge/response)",
+                 2.0 * self.bus.hop_s(amf.location, gnb_site))
+        proc.add("UE <-> gNB: auth response (air)", 2 * self.air_one_way_s)
+        self._nf_leg(proc, "AMF <-> UDM: registration + subscription",
+                     amf.location, udm, rng)
+        self._nf_leg(proc, "AMF <-> PCF: AM policy association",
+                     amf.location, pcf, rng)
+        proc.add("gNB -> UE: registration accept", self.air_one_way_s)
+        return proc
+
+    def pdu_session_establishment(
+            self, gnb_site: GeoPoint, *, amf: NetworkFunction,
+            smf: NetworkFunction, pcf: NetworkFunction,
+            upf_site: GeoPoint,
+            rng: Optional[np.random.Generator] = None) -> ControlProcedure:
+        """PDU session setup, including the N4 leg to the UPF site."""
+        proc = ControlProcedure("pdu-session-establishment")
+        proc.add("UE -> gNB: NAS PDU session request", self.air_one_way_s)
+        self._nf_leg(proc, "gNB <-> AMF: N2 uplink NAS",
+                     gnb_site, amf, rng)
+        self._nf_leg(proc, "AMF <-> SMF: CreateSMContext",
+                     amf.location, smf, rng)
+        self._nf_leg(proc, "SMF <-> PCF: SM policy",
+                     smf.location, pcf, rng)
+        proc.add("SMF <-> UPF: N4 session establishment",
+                 2.0 * self.bus.hop_s(smf.location, upf_site))
+        self._nf_leg(proc, "SMF <-> AMF: N1N2 message transfer",
+                     smf.location, amf, rng)
+        proc.add("AMF <-> gNB: N2 session resource setup",
+                 2.0 * self.bus.hop_s(amf.location, gnb_site))
+        proc.add("gNB -> UE: RRC reconfiguration (DRB setup)",
+                 self.air_one_way_s)
+        return proc
+
+    def service_request(self, gnb_site: GeoPoint, *, amf: NetworkFunction,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> ControlProcedure:
+        """Idle-to-connected service request (the AR 'cold event' path)."""
+        proc = ControlProcedure("service-request")
+        proc.add("UE -> gNB: RRC resume + NAS service request",
+                 self.air_one_way_s)
+        self._nf_leg(proc, "gNB <-> AMF: N2 service request",
+                     gnb_site, amf, rng)
+        proc.add("gNB -> UE: RRC resume complete", self.air_one_way_s)
+        return proc

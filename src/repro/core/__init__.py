@@ -1,0 +1,48 @@
+"""The paper's analytical framework: requirements, evaluation, remedies."""
+
+from .cpf_strategy import CpfComparison, CpfEnhancementStudy, QosCacheStudy
+from .evaluation import EvaluationResult, InfrastructureEvaluation
+from .future import (
+    FederatedEdgeStudy,
+    PredictiveSlicingStudy,
+    SixGUpgradeStudy,
+    UpgradeArm,
+)
+from .gap import GapAnalysis, GapReport
+from .peering import LocalPeeringExperiment, PeeringOutcome
+from .recommendations import Recommendation, RecommendationEngine
+from .report import render_comparison_table, render_grid_heatmap
+from .requirements import (
+    FIVE_G_CAPABILITY,
+    SIX_G_CAPABILITY,
+    GenerationCapability,
+    RequirementsAnalysis,
+    RequirementVerdict,
+)
+from .scenario import KlagenfurtScenario
+from .sensitivity import KnobResult, SensitivityAnalysis
+from .validation import ValidationIssue, ValidationReport, validate_scenario
+from .slicing_strategy import (
+    HypervisorPlacementStudy,
+    SlicingOutcome,
+    SlicingStudy,
+)
+from .upf_strategy import DynamicUpfSelector, UpfDeployment, UpfPlacementStudy
+
+__all__ = [
+    "CpfComparison", "CpfEnhancementStudy", "QosCacheStudy",
+    "EvaluationResult", "InfrastructureEvaluation",
+    "GapAnalysis", "GapReport",
+    "SixGUpgradeStudy", "UpgradeArm", "FederatedEdgeStudy",
+    "PredictiveSlicingStudy",
+    "LocalPeeringExperiment", "PeeringOutcome",
+    "Recommendation", "RecommendationEngine",
+    "render_comparison_table", "render_grid_heatmap",
+    "FIVE_G_CAPABILITY", "SIX_G_CAPABILITY", "GenerationCapability",
+    "RequirementsAnalysis", "RequirementVerdict",
+    "KlagenfurtScenario",
+    "KnobResult", "SensitivityAnalysis",
+    "ValidationIssue", "ValidationReport", "validate_scenario",
+    "HypervisorPlacementStudy", "SlicingOutcome", "SlicingStudy",
+    "DynamicUpfSelector", "UpfDeployment", "UpfPlacementStudy",
+]

@@ -1,0 +1,112 @@
+"""One-call orchestration of the full Section IV evaluation.
+
+:class:`InfrastructureEvaluation` is the facade an end user (and every
+figure bench) goes through: build the scenario, run the drive test,
+aggregate per cell, compute the gap report, and render the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..probes.results import MeasurementDataset
+from ..probes.stats import CellStatistics
+from .gap import GapAnalysis, GapReport
+from .report import render_grid_heatmap
+from .scenario import KlagenfurtScenario
+
+__all__ = ["EvaluationResult", "InfrastructureEvaluation"]
+
+
+@dataclass
+class EvaluationResult:
+    """Everything Section IV produces."""
+
+    scenario: KlagenfurtScenario
+    dataset: MeasurementDataset
+    statistics: CellStatistics
+    wired_rtts_s: np.ndarray
+    gap: GapReport
+
+    def figure2(self) -> str:
+        """Fig. 2: urban mean round-trip time latency heatmap."""
+        return render_grid_heatmap(
+            self.scenario.grid, self.statistics.mean_matrix_ms(),
+            title="Urban Mean Round-trip Time Latency")
+
+    def figure3(self) -> str:
+        """Fig. 3: per-cell standard deviation heatmap."""
+        return render_grid_heatmap(
+            self.scenario.grid, self.statistics.std_matrix_ms(),
+            title="Standard Deviation Latency")
+
+    def table1(self) -> str:
+        """Table I: the hop chain of the local service request."""
+        return self.scenario.reference_trace().render_table(
+            title="NETWORKING HOPS FOR LOCAL SERVICE REQUEST")
+
+    def figure4_km(self) -> float:
+        """Fig. 4: the geographic detour length (paper: 2544 km)."""
+        return self.scenario.detour_route_km()
+
+    def save_artifacts(self, directory) -> dict[str, str]:
+        """Write every Section IV artifact to ``directory``.
+
+        Files: ``figure2.txt``, ``figure3.txt``, ``table1.txt``,
+        ``gap_summary.txt``, ``campaign.csv`` (the raw dataset) and
+        ``wired_baseline.csv``.  Returns ``{artifact: path}``.
+        """
+        from pathlib import Path
+
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, str] = {}
+
+        def write(name: str, text: str) -> None:
+            path = out / name
+            path.write_text(text + "\n")
+            paths[name] = str(path)
+
+        write("figure2.txt", self.figure2())
+        write("figure3.txt", self.figure3())
+        write("table1.txt", self.table1())
+        write("gap_summary.txt",
+              self.gap.summary()
+              + f"\nfig4 detour: {self.figure4_km():.0f} km")
+        self.dataset.save_csv(out / "campaign.csv")
+        paths["campaign.csv"] = str(out / "campaign.csv")
+        wired_lines = ["rtt_ms"] + [f"{v * 1e3:.3f}"
+                                    for v in self.wired_rtts_s]
+        write("wired_baseline.csv", "\n".join(wired_lines))
+        return paths
+
+
+class InfrastructureEvaluation:
+    """Builds and runs the whole Section IV pipeline."""
+
+    def __init__(self, seed: int = 42,
+                 mean_positions_per_cell: float = 6.0):
+        if mean_positions_per_cell <= 0:
+            raise ValueError("positions per cell must be positive")
+        self.seed = seed
+        self.mean_positions_per_cell = mean_positions_per_cell
+
+    def run(self, scenario: Optional[KlagenfurtScenario] = None
+            ) -> EvaluationResult:
+        """Execute the campaign and derive all artifacts."""
+        sc = scenario if scenario is not None \
+            else KlagenfurtScenario(seed=self.seed)
+        dataset = sc.run_campaign(self.mean_positions_per_cell)
+        stats = sc.statistics(dataset)
+        wired = sc.wired_baseline()
+        gap = GapAnalysis().report(stats, wired)
+        return EvaluationResult(
+            scenario=sc,
+            dataset=dataset,
+            statistics=stats,
+            wired_rtts_s=wired,
+            gap=gap,
+        )

@@ -1,0 +1,104 @@
+"""Gap analysis (Section IV-C headline numbers).
+
+Computes the paper's comparative findings from a measurement campaign
+and a wired baseline:
+
+* the **mobile/wired factor** — "the mean RTL for mobile nodes
+  surpasses that of wired nodes by a factor of seven";
+* the **requirement exceedance** — "exceeds the identified requirements
+  ... by approximately 270 %" against the 20 ms AR budget;
+* the **hop-count observation** — "the number of network hops
+  frequently surpasses ten".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from ..apps.ar_game import AR_RTT_BUDGET_S
+from ..probes.stats import CellStatistics
+
+__all__ = ["GapAnalysis", "GapReport"]
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """The Section IV-C summary numbers."""
+
+    mobile_mean_s: float
+    wired_mean_s: float
+    mobile_wired_factor: float
+    requirement_s: float
+    exceedance_percent: float
+    min_cell_label: str
+    min_cell_mean_s: float
+    max_cell_label: str
+    max_cell_mean_s: float
+    min_std_label: str
+    min_std_s: float
+    max_std_label: str
+    max_std_s: float
+
+    def summary(self) -> str:
+        """Human-readable digest matching the paper's phrasing."""
+        return "\n".join([
+            f"mobile mean RTL: {units.to_ms(self.mobile_mean_s):.1f} ms "
+            f"({self.mobile_wired_factor:.1f}x the wired "
+            f"{units.to_ms(self.wired_mean_s):.1f} ms)",
+            f"cell range: {units.to_ms(self.min_cell_mean_s):.0f} ms "
+            f"({self.min_cell_label}) .. "
+            f"{units.to_ms(self.max_cell_mean_s):.0f} ms "
+            f"({self.max_cell_label})",
+            f"std-dev range: {units.to_ms(self.min_std_s):.1f} ms "
+            f"({self.min_std_label}) .. {units.to_ms(self.max_std_s):.1f} ms "
+            f"({self.max_std_label})",
+            f"exceeds the {units.to_ms(self.requirement_s):.0f} ms "
+            f"requirement by {self.exceedance_percent:.0f}%",
+        ])
+
+
+class GapAnalysis:
+    """Derives the gap report from campaign statistics."""
+
+    def __init__(self, *, requirement_s: float = AR_RTT_BUDGET_S):
+        if requirement_s <= 0:
+            raise ValueError("requirement must be positive")
+        self.requirement_s = requirement_s
+
+    def report(self, stats: CellStatistics,
+               wired_rtts_s: np.ndarray) -> GapReport:
+        """Compute the headline numbers.
+
+        ``wired_rtts_s``: RTT samples of the wired baseline (the [3]
+        measurements to the cloud region).
+        """
+        wired = np.asarray(wired_rtts_s, dtype=np.float64)
+        if wired.size == 0:
+            raise ValueError("wired baseline is empty")
+        mobile_mean = stats.overall_mean_s()
+        wired_mean = float(wired.mean())
+        if wired_mean <= 0:
+            raise ValueError("wired mean must be positive")
+        min_cell = stats.min_mean_cell()
+        max_cell = stats.max_mean_cell()
+        min_std = stats.min_std_cell()
+        max_std = stats.max_std_cell()
+        return GapReport(
+            mobile_mean_s=mobile_mean,
+            wired_mean_s=wired_mean,
+            mobile_wired_factor=mobile_mean / wired_mean,
+            requirement_s=self.requirement_s,
+            exceedance_percent=(mobile_mean - self.requirement_s)
+            / self.requirement_s * 100.0,
+            min_cell_label=min_cell.cell.label,
+            min_cell_mean_s=min_cell.mean_s,
+            max_cell_label=max_cell.cell.label,
+            max_cell_mean_s=max_cell.mean_s,
+            min_std_label=min_std.cell.label,
+            min_std_s=min_std.std_s,
+            max_std_label=max_std.cell.label,
+            max_std_s=max_std.std_s,
+        )

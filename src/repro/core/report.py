@@ -1,0 +1,79 @@
+"""Figure/table rendering (ASCII) for the evaluation artifacts.
+
+Renders the paper's presentation formats:
+
+* :func:`render_grid_heatmap` — Fig. 1/2/3-style cell grids (columns
+  A..F, rows 1..7) with per-cell values, masked cells shown as 0.0;
+* :func:`render_comparison_table` — simple aligned tables for the
+  recommendation benches.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geo.grid import Grid
+
+__all__ = ["render_grid_heatmap", "render_comparison_table"]
+
+
+def render_grid_heatmap(grid: Grid, matrix: np.ndarray, *,
+                        title: str = "", unit: str = "ms",
+                        decimals: int = 1) -> str:
+    """Render a (rows x cols) value matrix as the paper's cell grid.
+
+    ``matrix[row, col]`` follows the grid convention (row 0 = northern
+    row '1').  Zeros render as ``0.0`` — the paper's mask marker.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (grid.rows, grid.cols):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match grid "
+            f"({grid.rows}, {grid.cols})")
+    width = max(len(f"{v:.{decimals}f}") for v in matrix.ravel())
+    width = max(width, 5)
+    header = "    " + " ".join(
+        f"{string.ascii_uppercase[c]:>{width}}" for c in range(grid.cols))
+    lines = []
+    if title:
+        lines.append(f"{title} [{unit}]")
+    lines.append(header)
+    for row in range(grid.rows):
+        cells = " ".join(f"{matrix[row, col]:>{width}.{decimals}f}"
+                         for col in range(grid.cols))
+        lines.append(f"{row + 1:>3} {cells}")
+    return "\n".join(lines)
+
+
+def render_comparison_table(headers: Sequence[str],
+                            rows: Sequence[Sequence[object]], *,
+                            title: str = "") -> str:
+    """Aligned ASCII table; floats are rendered with 2 decimals."""
+    if not headers:
+        raise ValueError("table needs headers")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} fields, expected "
+                f"{len(headers)}")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(headers[i]),
+                  max((len(r[i]) for r in str_rows), default=0))
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

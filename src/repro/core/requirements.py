@@ -1,0 +1,111 @@
+"""Requirements analysis (Sections II-III).
+
+Pairs the application profiles of :mod:`repro.apps.workloads` with the
+capability envelopes of network generations and answers, per
+application and generation: is the latency budget reachable, is the
+bandwidth there, does the device density fit?  This is the formal
+version of the paper's Section III tables and feeds the gap analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+from ..apps.base import ApplicationProfile
+
+__all__ = ["GenerationCapability", "FIVE_G_CAPABILITY", "SIX_G_CAPABILITY",
+           "RequirementVerdict", "RequirementsAnalysis"]
+
+
+@dataclass(frozen=True)
+class GenerationCapability:
+    """What a network generation can deliver (paper's Section II)."""
+
+    name: str
+    #: best-case air-interface one-way latency, seconds
+    air_latency_s: float
+    #: realistic end-to-end RTT with well-placed edge resources
+    edge_rtt_s: float
+    #: peak data rate, bits/second
+    peak_rate_bps: float
+    #: connection density, devices per km^2
+    device_density_per_km2: float
+
+    def __post_init__(self) -> None:
+        if min(self.air_latency_s, self.edge_rtt_s, self.peak_rate_bps,
+               self.device_density_per_km2) <= 0:
+            raise ValueError("capability magnitudes must be positive")
+
+
+#: 5G per the paper: ~1 ms air latency target, ~10^5 devices/km^2.
+FIVE_G_CAPABILITY = GenerationCapability(
+    name="5G",
+    air_latency_s=units.ms(1.0),
+    # Best-case deliverable end-to-end RTT: the edge-UPF + URLLC arm of
+    # the Sec. V-B study lands at ~5.2 ms, matching the 5-6.2 ms band
+    # the paper cites ([30], [31]); the sub-5 ms target of [34] remains
+    # aspirational.
+    edge_rtt_s=units.ms(5.2),
+    peak_rate_bps=units.gbps(20.0),
+    device_density_per_km2=1e5,
+)
+
+#: 6G per the paper: 100 us air latency, 1 Tbps, ~10^6 devices/km^2.
+SIX_G_CAPABILITY = GenerationCapability(
+    name="6G",
+    air_latency_s=units.us(100.0),
+    edge_rtt_s=units.ms(1.0),        # sub-1 ms end-to-end ambition
+    peak_rate_bps=units.tbps(1.0),
+    device_density_per_km2=1e6,
+)
+
+
+@dataclass(frozen=True)
+class RequirementVerdict:
+    """One application judged against one generation."""
+
+    application: str
+    generation: str
+    latency_ok: bool
+    bandwidth_ok: bool
+    density_ok: bool
+    #: headroom = budget / deliverable RTT (>1 means satisfiable)
+    latency_headroom: float
+
+    @property
+    def satisfied(self) -> bool:
+        return self.latency_ok and self.bandwidth_ok and self.density_ok
+
+
+class RequirementsAnalysis:
+    """Judges application profiles against generation capabilities."""
+
+    def __init__(self, capability: GenerationCapability):
+        self.capability = capability
+
+    def judge(self, profile: ApplicationProfile) -> RequirementVerdict:
+        """Capability check for one application."""
+        cap = self.capability
+        return RequirementVerdict(
+            application=profile.name,
+            generation=cap.name,
+            latency_ok=cap.edge_rtt_s <= profile.rtt_budget_s,
+            bandwidth_ok=cap.peak_rate_bps >= profile.bandwidth_bps,
+            density_ok=(profile.device_density_per_km2 == 0.0
+                        or cap.device_density_per_km2
+                        >= profile.device_density_per_km2),
+            latency_headroom=profile.rtt_budget_s / cap.edge_rtt_s,
+        )
+
+    def judge_all(self, profiles: list[ApplicationProfile]
+                  ) -> list[RequirementVerdict]:
+        """Capability checks for a whole application portfolio."""
+        if not profiles:
+            raise ValueError("no profiles supplied")
+        return [self.judge(p) for p in profiles]
+
+    def unsatisfied(self, profiles: list[ApplicationProfile]
+                    ) -> list[RequirementVerdict]:
+        """Applications this generation cannot serve."""
+        return [v for v in self.judge_all(profiles) if not v.satisfied]

@@ -1,0 +1,121 @@
+"""End-to-end slicing strategy and hypervisor placement (Section V-C).
+
+Two quantitative pieces back the paper's slicing discussion:
+
+* :class:`SlicingStudy` — the same traffic mix with and without
+  end-to-end slice isolation: the URLLC slice's queueing delay under an
+  aggressive eMBB neighbour.
+* :class:`HypervisorPlacementStudy` — the latency / resilience / load
+  trade-off of network-hypervisor placement over the scenario's sites
+  ([41], [42], [43]), executed with the k-placement planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+from ..cn.hypervisor import (
+    HypervisorPlanner,
+    PlacementObjective,
+    PlacementResult,
+)
+from ..cn.slicing import NetworkSlice, SliceManager, SliceType
+from ..geo.coords import GeoPoint
+from ..geo.places import BUCHAREST, FRANKFURT, GRAZ, PLACES, PRAGUE, VIENNA
+
+__all__ = ["SlicingOutcome", "SlicingStudy", "HypervisorPlacementStudy"]
+
+
+@dataclass(frozen=True)
+class SlicingOutcome:
+    """Queueing delay of the URLLC traffic with and without slicing."""
+
+    isolated_wait_s: float
+    shared_wait_s: float
+
+    @property
+    def improvement_factor(self) -> float:
+        if self.isolated_wait_s == 0.0:
+            return float("inf")
+        return self.shared_wait_s / self.isolated_wait_s
+
+
+class SlicingStudy:
+    """URLLC under eMBB pressure, sliced versus shared."""
+
+    def __init__(self, *, capacity_bps: float = units.gbps(10.0),
+                 urllc_share: float = 0.2,
+                 urllc_load_bps: float = units.gbps(0.4),
+                 embb_load_bps: float = units.gbps(7.6),
+                 service_time_s: float = 12e-6):
+        mgr = SliceManager(capacity_bps)
+        mgr.admit(NetworkSlice("urllc", SliceType.URLLC, urllc_share,
+                               offered_load_bps=urllc_load_bps))
+        mgr.admit(NetworkSlice("embb", SliceType.EMBB,
+                               1.0 - urllc_share,
+                               offered_load_bps=embb_load_bps))
+        self.manager = mgr
+        self.service_time_s = service_time_s
+
+    def run(self) -> SlicingOutcome:
+        """Queueing delay of the URLLC slice, isolated vs shared."""
+        return SlicingOutcome(
+            isolated_wait_s=self.manager.queueing_delay_s(
+                "urllc", self.service_time_s, isolated=True),
+            shared_wait_s=self.manager.queueing_delay_s(
+                "urllc", self.service_time_s, isolated=False),
+        )
+
+    def sweep_embb_load(self, loads_bps: list[float]
+                        ) -> list[tuple[float, SlicingOutcome]]:
+        """Re-run the comparison across eMBB offered loads.
+
+        Shows the crossover: at low aggregate load, isolation costs
+        capacity; past it, isolation is what keeps URLLC viable.
+        """
+        outcomes = []
+        urllc = self.manager.slice("urllc")
+        for load in loads_bps:
+            mgr = SliceManager(self.manager.capacity_bps)
+            mgr.admit(urllc)
+            mgr.admit(NetworkSlice("embb", SliceType.EMBB,
+                                   1.0 - urllc.reserved_fraction,
+                                   offered_load_bps=load))
+            outcomes.append((load, SlicingOutcome(
+                isolated_wait_s=mgr.queueing_delay_s(
+                    "urllc", self.service_time_s, isolated=True),
+                shared_wait_s=mgr.queueing_delay_s(
+                    "urllc", self.service_time_s, isolated=False),
+            )))
+        return outcomes
+
+
+class HypervisorPlacementStudy:
+    """Placement-objective trade-offs over the evaluation's footprint."""
+
+    #: candidate hypervisor sites: the scenario's infrastructure cities
+    DEFAULT_CANDIDATES = ("klagenfurt", "vienna", "graz", "frankfurt",
+                          "prague", "bucharest")
+
+    def __init__(self, tenant_sites: list[GeoPoint] | None = None):
+        self.candidates = [PLACES[name] for name in
+                           self.DEFAULT_CANDIDATES]
+        if tenant_sites is None:
+            # Tenants: slice controllers at the edge + core sites.
+            uni = PLACES["university_klagenfurt"]
+            tenant_sites = [uni, PLACES["klagenfurt"], GRAZ, VIENNA,
+                            PRAGUE, FRANKFURT, BUCHAREST]
+        self.planner = HypervisorPlanner(self.candidates, tenant_sites)
+
+    def compare(self, k: int = 3) -> dict[str, PlacementResult]:
+        """Objective name -> placement result for ``k`` hypervisors."""
+        return {
+            objective.value: self.planner.place(k, objective)
+            for objective in PlacementObjective
+        }
+
+    def latency_vs_k(self, ks: list[int]) -> list[tuple[int, float]]:
+        """Worst-tenant latency as the hypervisor budget grows."""
+        return [(k, self.planner.place(
+            k, PlacementObjective.LATENCY).worst_latency_s) for k in ks]

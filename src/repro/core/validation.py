@@ -1,0 +1,156 @@
+"""Scenario invariant checker.
+
+Anyone building a custom city scenario (see ``examples/second_city.py``)
+wires grid, radio, topology, AS policy and campaign config by hand; a
+mis-wired scenario fails in confusing ways (unreachable targets,
+orphan gateways, cells without coverage).  :func:`validate_scenario`
+checks the invariants the campaign relies on and returns a structured
+report instead of a mid-campaign stack trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import units
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_scenario"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found (or warning raised) during validation."""
+
+    severity: str      #: 'error' | 'warning'
+    component: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.component}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All issues of one validation run."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    def add(self, severity: str, component: str, message: str) -> None:
+        """Record one issue."""
+        self.issues.append(ValidationIssue(severity, component, message))
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        """Human-readable issue list (or the all-clear line)."""
+        if not self.issues:
+            return "scenario valid: no issues"
+        return "\n".join(str(issue) for issue in self.issues)
+
+
+def validate_scenario(*, grid, traversed_cells, radio, routes,
+                      campaign_config,
+                      min_sinr_db: float = -5.0) -> ValidationReport:
+    """Check the invariants the drive-test campaign relies on.
+
+    Errors (campaign would crash or silently mis-measure):
+
+    * a gateway node missing from the topology;
+    * a wired target unreachable from a gateway under BGP policy;
+    * a traversed cell outside the grid;
+    * a cell-to-gateway assignment referencing an unknown gateway.
+
+    Warnings (campaign runs, results may be degenerate):
+
+    * traversed cells whose centre SINR is below ``min_sinr_db``
+      (every sample there will be HARQ-saturated);
+    * an empty target list for a traversed cell;
+    * effective cell load pinned at the clamp for some cell.
+    """
+    report = ValidationReport()
+    topo = routes.topology
+
+    # -- gateways --------------------------------------------------------
+    for name, gateway in campaign_config.gateways.items():
+        if not topo.has_node(gateway.node_name):
+            report.add("error", "gateways",
+                       f"gateway {name!r} references missing node "
+                       f"{gateway.node_name!r}")
+    if campaign_config.default_gateway not in campaign_config.gateways:
+        report.add("error", "gateways",
+                   f"default gateway "
+                   f"{campaign_config.default_gateway!r} not registered")
+    for cell, gw_name in campaign_config.gateway_by_cell.items():
+        if gw_name not in campaign_config.gateways:
+            report.add("error", "gateways",
+                       f"cell {cell.label} assigned to unknown gateway "
+                       f"{gw_name!r}")
+
+    # -- cells -----------------------------------------------------------
+    for cell in traversed_cells:
+        if cell not in grid:
+            report.add("error", "grid",
+                       f"traversed cell {cell.label} outside the grid")
+            continue
+        targets = campaign_config.targets.get(
+            cell, campaign_config.default_targets)
+        if not targets:
+            report.add("warning", "targets",
+                       f"cell {cell.label} has no measurement targets")
+
+    # -- wired reachability ---------------------------------------------
+    wired_targets = set()
+    for cell in traversed_cells:
+        for target in campaign_config.targets.get(
+                cell, campaign_config.default_targets):
+            if target not in campaign_config.peers:
+                wired_targets.add(target)
+    for target in sorted(wired_targets):
+        if not topo.has_node(target):
+            report.add("error", "targets",
+                       f"wired target {target!r} not in topology")
+            continue
+        for name, gateway in campaign_config.gateways.items():
+            if not topo.has_node(gateway.node_name):
+                continue
+            try:
+                routes.route(gateway.node_name, target)
+            except (LookupError, ValueError) as exc:
+                report.add("error", "routing",
+                           f"target {target!r} unreachable from gateway "
+                           f"{name!r}: {exc}")
+
+    # -- radio coverage ---------------------------------------------------
+    for cell in traversed_cells:
+        if cell not in grid:
+            continue
+        try:
+            _, sinr = radio.serving(grid.cell_center(cell))
+        except RuntimeError as exc:
+            report.add("error", "radio", str(exc))
+            break
+        if sinr < min_sinr_db:
+            report.add("warning", "radio",
+                       f"cell {cell.label} centre SINR {sinr:.1f} dB "
+                       f"below {min_sinr_db:.1f} dB (HARQ-saturated)")
+
+    # -- load clamp --------------------------------------------------------
+    for cell in traversed_cells:
+        extra = campaign_config.cell_extra_load.get(cell, 0.0)
+        base = max((g.load for g in radio.gnbs()), default=0.0)
+        if base + extra > campaign_config.max_cell_load + 1e-9:
+            report.add("warning", "load",
+                       f"cell {cell.label} load clamps at "
+                       f"{campaign_config.max_cell_load:.2f} "
+                       f"(requested {base + extra:.2f})")
+    return report

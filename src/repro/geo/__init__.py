@@ -1,0 +1,47 @@
+"""Geographic substrate: coordinates, grid segmentation, population, mobility."""
+
+from .coords import (
+    EARTH_RADIUS_M,
+    GeoPoint,
+    destination_point,
+    haversine,
+    haversine_matrix,
+    initial_bearing,
+    path_length,
+)
+from .grid import CellId, Grid
+from .mobility import (
+    DriveTestRoute,
+    ManhattanMobility,
+    MobilitySample,
+    RandomWaypoint,
+)
+from .places import (
+    BUCHAREST,
+    FIBRE_CIRCUITY,
+    FRANKFURT,
+    GRAZ,
+    KLAGENFURT,
+    PLACES,
+    PRAGUE,
+    UNIVERSITY_KLAGENFURT,
+    VIENNA,
+    place,
+    route_distance_m,
+)
+from .population import (
+    PopulationModel,
+    RadialPopulationModel,
+    RasterPopulationModel,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M", "GeoPoint", "haversine", "haversine_matrix",
+    "initial_bearing", "destination_point", "path_length",
+    "CellId", "Grid",
+    "MobilitySample", "DriveTestRoute", "RandomWaypoint", "ManhattanMobility",
+    "PLACES", "place", "KLAGENFURT", "UNIVERSITY_KLAGENFURT", "VIENNA",
+    "PRAGUE", "BUCHAREST", "GRAZ", "FRANKFURT", "FIBRE_CIRCUITY",
+    "route_distance_m",
+    "PopulationModel", "RadialPopulationModel", "RasterPopulationModel",
+]

@@ -1,0 +1,196 @@
+"""Geographical grid segmentation (the paper's Fig. 1 methodology).
+
+The evaluation partitions each *sector* (an urban region) into square
+*cells* following the partitioning methodology the paper cites ([17]) with
+the 1 km cell dimension of the Statistik Austria raster ([18]).  Cells are
+labelled ``<column letter><row number>`` — columns ``A..F`` run west to
+east, rows ``1..7`` run *north to south* (row 1 is the top row of the
+figure, as in the paper's heatmaps).
+
+The grid is a local tangent-plane approximation: rows are spaced by
+``cell_size`` along the meridian, columns by ``cell_size`` along the
+parallel through the grid origin.  At Klagenfurt's latitude the distortion
+across a 6 km x 7 km patch is far below the cell size, so cell membership
+is unambiguous.
+"""
+
+from __future__ import annotations
+
+import math
+import string
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .coords import EARTH_RADIUS_M, GeoPoint
+
+__all__ = ["CellId", "Grid"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class CellId:
+    """A grid-cell label such as ``C1`` (column ``C``, row ``1``)."""
+
+    col: int  #: zero-based column index (0 = 'A', west-most)
+    row: int  #: zero-based row index (0 = row '1', north-most)
+
+    def __post_init__(self) -> None:
+        if self.col < 0 or self.row < 0:
+            raise ValueError(f"cell indices must be non-negative: {self!r}")
+        if self.col >= 26:
+            raise ValueError("grids wider than 26 columns are not supported")
+
+    @property
+    def label(self) -> str:
+        """Human-readable label, e.g. ``'C3'``."""
+        return f"{string.ascii_uppercase[self.col]}{self.row + 1}"
+
+    @classmethod
+    def from_label(cls, label: str) -> "CellId":
+        """Parse labels like ``'C3'`` (case-insensitive)."""
+        text = label.strip().upper()
+        if len(text) < 2 or text[0] not in string.ascii_uppercase:
+            raise ValueError(f"malformed cell label {label!r}")
+        try:
+            row = int(text[1:])
+        except ValueError:
+            raise ValueError(f"malformed cell label {label!r}") from None
+        if row < 1:
+            raise ValueError(f"row in {label!r} must be >= 1")
+        return cls(col=string.ascii_uppercase.index(text[0]), row=row - 1)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class Grid:
+    """A ``cols x rows`` grid of square cells anchored at a NW corner.
+
+    Parameters
+    ----------
+    origin:
+        Geographic position of the grid's *north-west* corner.
+    cell_size_m:
+        Side length of each (square) cell, metres.  The paper uses 1 km.
+    cols, rows:
+        Grid dimensions.  The Klagenfurt scenario uses 6 x 7 = 42 cells
+        labelled ``A1 .. F7``.
+    """
+
+    def __init__(self, origin: GeoPoint, cell_size_m: float = 1000.0,
+                 cols: int = 6, rows: int = 7):
+        if cell_size_m <= 0:
+            raise ValueError(f"cell size must be positive, got {cell_size_m}")
+        if cols < 1 or rows < 1:
+            raise ValueError(f"grid must be at least 1x1, got {cols}x{rows}")
+        if cols > 26:
+            raise ValueError("grids wider than 26 columns are not supported")
+        self.origin = origin
+        self.cell_size_m = float(cell_size_m)
+        self.cols = cols
+        self.rows = rows
+        # Metres per degree on the local tangent plane.
+        self._m_per_deg_lat = math.pi * EARTH_RADIUS_M / 180.0
+        self._m_per_deg_lon = (self._m_per_deg_lat
+                               * math.cos(math.radians(origin.lat)))
+
+    # -- iteration / sizing ---------------------------------------------
+
+    @property
+    def cell_count(self) -> int:
+        return self.cols * self.rows
+
+    def cells(self) -> Iterator[CellId]:
+        """All cells, column-major (``A1, A2, ..., F7``)."""
+        for col in range(self.cols):
+            for row in range(self.rows):
+                yield CellId(col, row)
+
+    def __contains__(self, cell: CellId) -> bool:
+        return 0 <= cell.col < self.cols and 0 <= cell.row < self.rows
+
+    # -- coordinate transforms --------------------------------------------
+
+    def _require(self, cell: CellId) -> None:
+        if cell not in self:
+            raise KeyError(f"cell {cell.label} outside {self.cols}x{self.rows} grid")
+
+    def cell_origin(self, cell: CellId) -> GeoPoint:
+        """NW corner of ``cell``."""
+        self._require(cell)
+        dlat = -(cell.row * self.cell_size_m) / self._m_per_deg_lat
+        dlon = (cell.col * self.cell_size_m) / self._m_per_deg_lon
+        return GeoPoint(self.origin.lat + dlat, self.origin.lon + dlon)
+
+    def cell_center(self, cell: CellId) -> GeoPoint:
+        """Centroid of ``cell``."""
+        self._require(cell)
+        dlat = -((cell.row + 0.5) * self.cell_size_m) / self._m_per_deg_lat
+        dlon = ((cell.col + 0.5) * self.cell_size_m) / self._m_per_deg_lon
+        return GeoPoint(self.origin.lat + dlat, self.origin.lon + dlon)
+
+    def locate(self, point: GeoPoint) -> Optional[CellId]:
+        """Cell containing ``point``, or ``None`` if outside the grid.
+
+        Cells own their north and west edges (half-open intervals), so
+        every interior point belongs to exactly one cell.
+        """
+        dlat_m = (self.origin.lat - point.lat) * self._m_per_deg_lat
+        dlon_m = (point.lon - self.origin.lon) * self._m_per_deg_lon
+        # The 1e-9-cell epsilon (~1 um for 1 km cells) absorbs degree<->metre
+        # round-trip error so that points generated *on* a cell's own west/
+        # north edge are attributed to that cell, not its neighbour.
+        eps = 1e-9
+        col = math.floor(dlon_m / self.cell_size_m + eps)
+        row = math.floor(dlat_m / self.cell_size_m + eps)
+        if 0 <= col < self.cols and 0 <= row < self.rows:
+            return CellId(col, row)
+        return None
+
+    def point_in_cell(self, cell: CellId, frac_east: float,
+                      frac_south: float) -> GeoPoint:
+        """Point at fractional offsets within ``cell``.
+
+        ``frac_east``/``frac_south`` in [0, 1) measured from the cell's NW
+        corner; (0.5, 0.5) is the centroid.  Used by mobility models to
+        place waypoints inside a target cell.
+        """
+        if not (0.0 <= frac_east < 1.0 and 0.0 <= frac_south < 1.0):
+            raise ValueError("fractional offsets must lie in [0, 1)")
+        self._require(cell)
+        dlat = -((cell.row + frac_south) * self.cell_size_m) / self._m_per_deg_lat
+        dlon = ((cell.col + frac_east) * self.cell_size_m) / self._m_per_deg_lon
+        return GeoPoint(self.origin.lat + dlat, self.origin.lon + dlon)
+
+    def neighbours(self, cell: CellId) -> list[CellId]:
+        """4-connected neighbours inside the grid (N, S, W, E order)."""
+        self._require(cell)
+        candidates = [
+            CellId(cell.col, cell.row - 1) if cell.row > 0 else None,
+            CellId(cell.col, cell.row + 1) if cell.row < self.rows - 1 else None,
+            CellId(cell.col - 1, cell.row) if cell.col > 0 else None,
+            CellId(cell.col + 1, cell.row) if cell.col < self.cols - 1 else None,
+        ]
+        return [c for c in candidates if c is not None]
+
+    def is_border(self, cell: CellId) -> bool:
+        """True for cells on the grid boundary (the paper's border region)."""
+        self._require(cell)
+        return (cell.col in (0, self.cols - 1)
+                or cell.row in (0, self.rows - 1))
+
+    def boustrophedon_order(self) -> list[CellId]:
+        """Serpentine traversal order used by the drive-test route.
+
+        Row 1 west->east, row 2 east->west, and so on — the natural way a
+        vehicle covers a street grid without revisiting cells.
+        """
+        order: list[CellId] = []
+        for row in range(self.rows):
+            cols = range(self.cols) if row % 2 == 0 else range(
+                self.cols - 1, -1, -1)
+            order.extend(CellId(col, row) for col in cols)
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Grid({self.cols}x{self.rows}, "
+                f"cell={self.cell_size_m:g} m, origin={self.origin})")

@@ -1,0 +1,39 @@
+"""Internet substrate: addressing, topology, policy routing, tracing."""
+
+from .address import IPv4Address, IPv4Prefix, PrefixAllocator, ptr_name
+from .asn import ASGraph, ASKind, AutonomousSystem
+from .dessim import Packet, PacketNetwork
+from .bgp import ASRoute, BGPRouter, RouteClass
+from .flows import TrafficDemand, TrafficMatrix
+from .ixp import InternetExchange
+from .latency import LatencyBreakdown
+from .link import Link, LinkKind
+from .node import Node, NodeKind
+from .queueing import (
+    md1_wait,
+    mg1_wait,
+    mm1_residence,
+    mm1_wait,
+    sample_mm1_wait,
+    utilisation_check,
+)
+from .routing import RouteComputer, RouteResult
+from .topology import Topology
+from .traceroute import TracerouteHop, TracerouteResult, traceroute
+
+__all__ = [
+    "IPv4Address", "IPv4Prefix", "PrefixAllocator", "ptr_name",
+    "ASGraph", "ASKind", "AutonomousSystem",
+    "Packet", "PacketNetwork",
+    "ASRoute", "BGPRouter", "RouteClass",
+    "TrafficDemand", "TrafficMatrix",
+    "InternetExchange",
+    "LatencyBreakdown",
+    "Link", "LinkKind",
+    "Node", "NodeKind",
+    "mm1_wait", "md1_wait", "mg1_wait", "mm1_residence", "sample_mm1_wait",
+    "utilisation_check",
+    "RouteComputer", "RouteResult",
+    "Topology",
+    "TracerouteHop", "TracerouteResult", "traceroute",
+]

@@ -1,0 +1,204 @@
+"""Autonomous systems and inter-AS business relationships.
+
+The paper's central routing observation — a request between two nodes
+less than 5 km apart travelling Vienna-Prague-Bucharest-Vienna (2544 km,
+Table I / Fig. 4) — is an artifact of *policy* routing: ASes forward
+along commercial relationships, not geography.  This module models the
+relationship graph in the standard Gao-Rexford form:
+
+* **customer-to-provider (c2p)** — the customer pays; routes learned
+  from a customer may be exported to anyone.
+* **peer-to-peer (p2p)** — settlement-free; routes learned from a peer
+  (or provider) may be exported only to customers.
+
+:class:`ASGraph` stores the relationships; path selection over it lives
+in :mod:`repro.net.bgp`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["ASKind", "AutonomousSystem", "ASGraph"]
+
+
+class ASKind(enum.Enum):
+    """Commercial role of an AS (labelling only; policy comes from edges)."""
+
+    MOBILE_ISP = "mobile_isp"      #: cellular operator (the UE's home)
+    ACCESS_ISP = "access_isp"      #: fixed-line eyeball network
+    TRANSIT = "transit"            #: wholesale IP transit carrier
+    CDN = "cdn"                    #: content-delivery / anycast operator
+    HOSTING = "hosting"            #: server hosting company
+    CLOUD = "cloud"                #: public cloud region
+    EDUCATION = "education"        #: NREN / university network
+    IXP_ROUTESERVER = "ixp"        #: route server (organisational, no hops)
+
+
+@dataclass(eq=False)
+class AutonomousSystem:
+    """One AS: a number, a name, and a PTR-naming template.
+
+    ``ptr_template`` renders router reverse-DNS names in
+    :mod:`repro.net.traceroute`; placeholders are those of
+    :func:`repro.net.address.ptr_name` (e.g.
+    ``"unn-{dashed}.datapacket.com"``).
+    """
+
+    asn: int
+    name: str
+    kind: ASKind = ASKind.TRANSIT
+    ptr_template: str = ""
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"AS number must be positive, got {self.asn}")
+        if not self.name:
+            raise ValueError("AS name must be non-empty")
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AutonomousSystem) and other.asn == self.asn
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AS{self.asn}({self.name!r}, {self.kind.value})"
+
+
+class ASGraph:
+    """The inter-AS relationship graph."""
+
+    def __init__(self):
+        self._systems: dict[int, AutonomousSystem] = {}
+        self._providers: dict[int, set[int]] = {}
+        self._customers: dict[int, set[int]] = {}
+        self._peers: dict[int, set[int]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, system: AutonomousSystem) -> AutonomousSystem:
+        """Register an AS; duplicate numbers are rejected."""
+        if system.asn in self._systems:
+            raise ValueError(f"duplicate AS number {system.asn}")
+        self._systems[system.asn] = system
+        self._providers[system.asn] = set()
+        self._customers[system.asn] = set()
+        self._peers[system.asn] = set()
+        return system
+
+    def _require(self, asn: int) -> None:
+        if asn not in self._systems:
+            raise KeyError(f"unknown AS{asn}")
+
+    def set_customer_of(self, customer: int, provider: int) -> None:
+        """Record that ``customer`` buys transit from ``provider``."""
+        self._require(customer)
+        self._require(provider)
+        if customer == provider:
+            raise ValueError("an AS cannot be its own provider")
+        if provider in self._customers[customer]:
+            raise ValueError(
+                f"AS{provider} is already a customer of AS{customer}; "
+                "mutual transit is not a valid Gao-Rexford relationship")
+        if provider in self._peers[customer]:
+            raise ValueError(
+                f"AS{customer} and AS{provider} already peer")
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def set_peers(self, a: int, b: int) -> None:
+        """Record a settlement-free peering between ``a`` and ``b``."""
+        self._require(a)
+        self._require(b)
+        if a == b:
+            raise ValueError("an AS cannot peer with itself")
+        if b in self._providers[a] or b in self._customers[a]:
+            raise ValueError(
+                f"AS{a} and AS{b} already have a transit relationship")
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    def remove_peering(self, a: int, b: int) -> None:
+        """Tear down a peering (the de-peering event of Sec. V-A)."""
+        self._require(a)
+        self._require(b)
+        if b not in self._peers[a]:
+            raise KeyError(f"AS{a} and AS{b} do not peer")
+        self._peers[a].discard(b)
+        self._peers[b].discard(a)
+
+    # -- queries -----------------------------------------------------------
+
+    def system(self, asn: int) -> AutonomousSystem:
+        """Look up one AS by number."""
+        self._require(asn)
+        return self._systems[asn]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._systems
+
+    def systems(self) -> Iterator[AutonomousSystem]:
+        """Iterate over all registered ASes."""
+        return iter(self._systems.values())
+
+    @property
+    def count(self) -> int:
+        return len(self._systems)
+
+    def providers_of(self, asn: int) -> frozenset[int]:
+        """The ASes this AS buys transit from."""
+        self._require(asn)
+        return frozenset(self._providers[asn])
+
+    def customers_of(self, asn: int) -> frozenset[int]:
+        """The ASes buying transit from this AS."""
+        self._require(asn)
+        return frozenset(self._customers[asn])
+
+    def peers_of(self, asn: int) -> frozenset[int]:
+        """The settlement-free peers of this AS."""
+        self._require(asn)
+        return frozenset(self._peers[asn])
+
+    def relationship(self, a: int, b: int) -> Optional[str]:
+        """``'c2p'`` if a is b's customer, ``'p2c'``, ``'p2p'`` or None."""
+        self._require(a)
+        self._require(b)
+        if b in self._providers[a]:
+            return "c2p"
+        if b in self._customers[a]:
+            return "p2c"
+        if b in self._peers[a]:
+            return "p2p"
+        return None
+
+    def validate_hierarchy(self) -> None:
+        """Reject customer-provider cycles (AS paying itself transitively).
+
+        The Gao-Rexford stability results assume the provider graph is a
+        DAG; a cycle would make the routing-tree computation in
+        :mod:`repro.net.bgp` ill-defined.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {asn: WHITE for asn in self._systems}
+
+        def dfs(asn: int, stack: list[int]) -> None:
+            colour[asn] = GREY
+            for prov in self._providers[asn]:
+                if colour[prov] == GREY:
+                    cycle = stack[stack.index(prov):] if prov in stack \
+                        else [prov]
+                    raise ValueError(
+                        "customer-provider cycle: "
+                        + " -> ".join(f"AS{x}" for x in cycle + [prov]))
+                if colour[prov] == WHITE:
+                    dfs(prov, stack + [prov])
+            colour[asn] = BLACK
+
+        for asn in self._systems:
+            if colour[asn] == WHITE:
+                dfs(asn, [asn])

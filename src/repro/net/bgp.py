@@ -1,0 +1,195 @@
+"""Valley-free (Gao-Rexford) AS-path selection.
+
+Implements the standard three-phase routing-tree computation over an
+:class:`~repro.net.asn.ASGraph`: for a destination AS ``d``, every other
+AS selects its best route under the canonical BGP decision process
+
+1. highest local preference — customer route > peer route > provider
+   route (follow the money),
+2. shortest AS path,
+3. deterministic tie-break (lowest next-hop ASN),
+
+subject to the Gao-Rexford export rules (a route learned from a peer or
+provider is never exported to another peer or provider — "no valleys").
+
+This is the mechanism behind the paper's Fig. 4: the eyeball and hosting
+ASes in Klagenfurt share no customer/peer edge, so traffic climbs to a
+transit/CDN provider (Vienna), crosses a distant peering (Prague), and
+descends through the hosting AS's provider chain (Bucharest) — 2544 km
+for a 5 km crow-fly distance.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from .asn import ASGraph
+
+__all__ = ["RouteClass", "ASRoute", "BGPRouter"]
+
+
+class RouteClass(enum.IntEnum):
+    """Local-preference classes, in decreasing preference order."""
+
+    SELF = 0       #: the destination itself
+    CUSTOMER = 1   #: learned from a customer
+    PEER = 2       #: learned from a peer
+    PROVIDER = 3   #: learned from a provider
+
+
+@dataclass(frozen=True, slots=True)
+class ASRoute:
+    """The route one AS selected towards a destination AS."""
+
+    dest: int
+    as_path: tuple[int, ...]   #: from this AS to dest, inclusive
+    route_class: RouteClass
+
+    @property
+    def length(self) -> int:
+        """AS-path length in edges."""
+        return len(self.as_path) - 1
+
+    def __str__(self) -> str:
+        return (" ".join(str(a) for a in self.as_path)
+                + f" ({self.route_class.name.lower()})")
+
+
+class BGPRouter:
+    """Computes and caches valley-free routes over an AS graph.
+
+    Routes are recomputed lazily per destination and invalidated by
+    :meth:`invalidate` when the relationship graph changes (e.g. the
+    local-peering what-if in :mod:`repro.core.peering`).
+    """
+
+    def __init__(self, graph: ASGraph):
+        graph.validate_hierarchy()
+        self.graph = graph
+        self._tables: dict[int, dict[int, ASRoute]] = {}
+
+    def invalidate(self) -> None:
+        """Drop cached routing tables (call after editing the AS graph)."""
+        self.graph.validate_hierarchy()
+        self._tables.clear()
+
+    # -- routing-tree computation ----------------------------------------
+
+    def routes_to(self, dest: int) -> dict[int, ASRoute]:
+        """Best route from every AS that can reach ``dest``."""
+        if dest not in self.graph:
+            raise KeyError(f"unknown destination AS{dest}")
+        table = self._tables.get(dest)
+        if table is None:
+            table = self._compute(dest)
+            self._tables[dest] = table
+        return table
+
+    def route(self, src: int, dest: int) -> Optional[ASRoute]:
+        """Best route from ``src`` to ``dest`` or None if unreachable."""
+        if src not in self.graph:
+            raise KeyError(f"unknown source AS{src}")
+        return self.routes_to(dest).get(src)
+
+    def as_path(self, src: int, dest: int) -> tuple[int, ...]:
+        """AS path from ``src`` to ``dest``; raises if unreachable."""
+        route = self.route(src, dest)
+        if route is None:
+            raise LookupError(f"AS{src} has no route to AS{dest}")
+        return route.as_path
+
+    def _compute(self, dest: int) -> dict[int, ASRoute]:
+        g = self.graph
+        best: dict[int, ASRoute] = {
+            dest: ASRoute(dest, (dest,), RouteClass.SELF)}
+
+        # Phase 1 — customer routes climb provider edges.  Uniform edge
+        # weights => Dijkstra == BFS, but the heap orders by
+        # (path length, next-hop ASN) which realises tie-break rule 3.
+        heap: list[tuple[int, int, int]] = [(0, dest, dest)]
+        while heap:
+            dist, tie, asn = heapq.heappop(heap)
+            current = best.get(asn)
+            if current is None or current.length < dist:
+                continue
+            for provider in sorted(g.providers_of(asn)):
+                candidate = ASRoute(dest, (provider,) + best[asn].as_path,
+                                    RouteClass.CUSTOMER)
+                incumbent = best.get(provider)
+                if self._better(candidate, incumbent):
+                    best[provider] = candidate
+                    heapq.heappush(heap, (candidate.length, asn, provider))
+
+        # Phase 2 — one peer hop off any customer/self route.
+        peer_routes: dict[int, ASRoute] = {}
+        for asn, route in best.items():
+            if route.route_class not in (RouteClass.SELF,
+                                         RouteClass.CUSTOMER):
+                continue
+            for peer in sorted(g.peers_of(asn)):
+                candidate = ASRoute(dest, (peer,) + route.as_path,
+                                    RouteClass.PEER)
+                if self._better(candidate, best.get(peer)) and \
+                        self._better(candidate, peer_routes.get(peer)):
+                    peer_routes[peer] = candidate
+        for asn, route in peer_routes.items():
+            if self._better(route, best.get(asn)):
+                best[asn] = route
+
+        # Phase 3 — provider routes descend customer edges from every
+        # AS that already has a route.
+        heap = [(best[a].length, a, a) for a in best]
+        heapq.heapify(heap)
+        while heap:
+            dist, tie, asn = heapq.heappop(heap)
+            route = best.get(asn)
+            if route is None or route.length < dist:
+                continue
+            for customer in sorted(g.customers_of(asn)):
+                candidate = ASRoute(dest, (customer,) + route.as_path,
+                                    RouteClass.PROVIDER)
+                if self._better(candidate, best.get(customer)):
+                    best[customer] = candidate
+                    heapq.heappush(heap, (candidate.length, asn, customer))
+
+        return best
+
+    @staticmethod
+    def _better(candidate: ASRoute, incumbent: Optional[ASRoute]) -> bool:
+        """BGP decision process: class, then length, then next-hop ASN."""
+        if incumbent is None:
+            return True
+        if candidate.route_class != incumbent.route_class:
+            return candidate.route_class < incumbent.route_class
+        if candidate.length != incumbent.length:
+            return candidate.length < incumbent.length
+        return candidate.as_path[1] < incumbent.as_path[1]
+
+    # -- analysis helpers -------------------------------------------------
+
+    def is_valley_free(self, as_path: tuple[int, ...]) -> bool:
+        """Check the valley-free property of an arbitrary AS path.
+
+        A valid path is a (possibly empty) uphill run of c2p edges,
+        at most one p2p edge, then a downhill run of p2c edges.
+        """
+        if len(as_path) < 2:
+            return True
+        phase = "up"
+        for a, b in zip(as_path, as_path[1:]):
+            rel = self.graph.relationship(a, b)
+            if rel is None:
+                return False
+            if rel == "c2p":
+                if phase != "up":
+                    return False
+            elif rel == "p2p":
+                if phase != "up":
+                    return False
+                phase = "down"   # at most one peer edge, then downhill
+            else:  # p2c
+                phase = "down"
+        return True

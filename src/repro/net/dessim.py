@@ -1,0 +1,161 @@
+"""Packet-level discrete-event transport over a topology.
+
+The campaign's latency model is *analytic-sampled*: per-packet queueing
+is drawn from M/M/1 distributions.  This module provides the
+cross-checking alternative: actual packets moving through actual queues
+on the :mod:`repro.sim` kernel.
+
+Per link direction there is a FIFO egress queue and a server process:
+serialize (transmission delay), propagate (timeout), hand to the next
+hop (forwarding delay), repeat.  Flows therefore *interact* — a burst
+on one link delays everyone behind it — which is exactly what the
+analytic model assumes away.  ``tests/test_net_dessim.py`` validates
+the two against each other: on quiet paths they agree exactly; under
+Poisson cross-traffic the DES waiting times converge to the M/M/1
+means the campaign samples from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..sim.engine import Event, Simulator
+from ..sim.monitor import SeriesMonitor
+from ..sim.resources import Store
+from .topology import Topology
+
+__all__ = ["Packet", "PacketNetwork"]
+
+
+@dataclass
+class Packet:
+    """One packet in flight."""
+
+    packet_id: int
+    path: tuple[str, ...]          #: node names, source to destination
+    size_bits: float
+    created_at: float
+    delivered_at: Optional[float] = None
+    #: per-hop timestamps (node name, time forwarded), for debugging
+    hops: list = field(default_factory=list)
+
+    @property
+    def latency_s(self) -> float:
+        if self.delivered_at is None:
+            raise ValueError(f"packet {self.packet_id} not delivered yet")
+        return self.delivered_at - self.created_at
+
+
+class PacketNetwork:
+    """Event-driven packet transport over a :class:`Topology`.
+
+    One egress queue + server process per (link, direction) pair,
+    created lazily on first use.  Node forwarding delay is paid when a
+    packet is accepted for forwarding; the destination's delay is not
+    charged (consistent with :meth:`Topology.path_latency`).
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology):
+        self.sim = sim
+        self.topology = topology
+        self._queues: dict[tuple[str, str], Store] = {}
+        self._next_id = 0
+        #: latency samples of every delivered packet
+        self.delivered = SeriesMonitor("delivered")
+
+    # -- queue/server machinery ----------------------------------------
+
+    def _egress(self, a: str, b: str) -> Store:
+        """The egress queue of direction ``a -> b`` (lazily started)."""
+        key = (a, b)
+        queue = self._queues.get(key)
+        if queue is None:
+            link = self.topology.link(a, b)   # validates existence
+            queue = Store(self.sim, name=f"q:{a}->{b}")
+            self._queues[key] = queue
+            self.sim.process(self._server(queue, a, b, link),
+                             name=f"srv:{a}->{b}")
+        return queue
+
+    def _server(self, queue: Store, a: str, b: str, link):
+        """Serve the egress queue: serialize, propagate, hand over."""
+        sim = self.sim
+        prop = link.propagation_delay()
+        while True:
+            item = yield queue.get()
+            packet, done = item
+            yield sim.timeout(link.transmission_delay(packet.size_bits))
+            # Propagation does not occupy the transmitter: model it as
+            # a detached delivery process so back-to-back packets
+            # pipeline on the wire.
+            sim.process(self._deliver_after(prop, packet, b, done),
+                        name=f"wire:{a}->{b}")
+
+    def _deliver_after(self, delay: float, packet: Packet, node: str,
+                       done: Event):
+        yield self.sim.timeout(delay)
+        yield from self._arrive(packet, node, done)
+
+    def _arrive(self, packet: Packet, node: str, done: Event):
+        """Packet reached ``node``: deliver or forward."""
+        packet.hops.append((node, self.sim.now))
+        index = packet.hops and len(packet.hops)
+        position = packet.path.index(node)
+        if position == len(packet.path) - 1:
+            packet.delivered_at = self.sim.now
+            self.delivered.record(self.sim.now, packet.latency_s)
+            done.succeed(packet)
+            return
+        # Forwarding delay at intermediate nodes, then enqueue onward.
+        yield self.sim.timeout(
+            self.topology.node(node).forwarding_delay_s)
+        next_hop = packet.path[position + 1]
+        yield self._egress(node, next_hop).put((packet, done))
+
+    # -- public API ----------------------------------------------------------
+
+    def send(self, path: list[str], size_bits: float) -> Event:
+        """Inject one packet at ``path[0]``; returns its delivery event.
+
+        The source host pays no forwarding delay (as in
+        :meth:`Topology.path_latency` with default endpoints).
+        """
+        if len(path) < 2:
+            raise ValueError("path must contain at least two nodes")
+        for a, b in zip(path, path[1:]):
+            if not self.topology.has_link(a, b):
+                raise KeyError(f"no link {a!r}--{b!r} on the path")
+        if size_bits <= 0:
+            raise ValueError("packet size must be positive")
+        packet = Packet(
+            packet_id=self._next_id,
+            path=tuple(path),
+            size_bits=size_bits,
+            created_at=self.sim.now,
+        )
+        self._next_id += 1
+        done = self.sim.event(f"delivery:{packet.packet_id}")
+        first = self._egress(path[0], path[1])
+        put = first.put((packet, done))
+        assert put.triggered  # unbounded queue accepts immediately
+        return done
+
+    def poisson_source(self, path: list[str], *, rate_pps: float,
+                       size_bits: float, count: int,
+                       rng: np.random.Generator):
+        """Process generator: ``count`` Poisson arrivals along ``path``."""
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if count < 1:
+            raise ValueError("need at least one packet")
+
+        def source():
+            for _ in range(count):
+                yield self.sim.timeout(
+                    float(rng.exponential(1.0 / rate_pps)))
+                self.send(path, size_bits)
+
+        return source()

@@ -1,0 +1,92 @@
+"""Traffic demands and background-load assignment.
+
+The drive-test cells differ in load (rush-hour arterials vs quiet
+residential blocks); the heatmap dispersion in Fig. 3 is largely this
+load structure filtered through queueing.  A :class:`TrafficMatrix`
+holds host-to-host demands; :meth:`TrafficMatrix.apply` routes each
+demand with the policy-aware :class:`~repro.net.routing.RouteComputer`
+and accumulates per-link utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .routing import RouteComputer
+
+__all__ = ["TrafficDemand", "TrafficMatrix"]
+
+#: Utilisation ceiling: real routers shed/shape load before the queue
+#: diverges, and the M/M/1 formulas need rho < 1.
+MAX_UTILISATION: float = 0.95
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficDemand:
+    """A steady host-to-host offered load."""
+
+    src: str
+    dst: str
+    rate_bps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError(f"demand rate must be positive, got "
+                             f"{self.rate_bps!r}")
+        if self.src == self.dst:
+            raise ValueError("demand endpoints must differ")
+
+
+class TrafficMatrix:
+    """A collection of demands that can be applied to a topology."""
+
+    def __init__(self):
+        self._demands: list[TrafficDemand] = []
+
+    def add(self, src: str, dst: str, rate_bps: float) -> TrafficDemand:
+        """Register one demand; returns the validated record."""
+        demand = TrafficDemand(src, dst, rate_bps)
+        self._demands.append(demand)
+        return demand
+
+    def __iter__(self) -> Iterator[TrafficDemand]:
+        return iter(self._demands)
+
+    def __len__(self) -> int:
+        return len(self._demands)
+
+    @property
+    def total_rate_bps(self) -> float:
+        return sum(d.rate_bps for d in self._demands)
+
+    def apply(self, routes: RouteComputer,
+              max_utilisation: float = MAX_UTILISATION) -> dict[str, float]:
+        """Route every demand and set link utilisations.
+
+        Returns ``{link name: utilisation}`` for inspection.  Existing
+        utilisation is *not* cleared — call :meth:`reset` first for a
+        clean slate.  Routing weights are refreshed afterwards so later
+        shortest-path queries see the loaded network.
+        """
+        if not 0.0 < max_utilisation < 1.0:
+            raise ValueError("max utilisation must be in (0, 1)")
+        topo = routes.topology
+        loads: dict[str, float] = {}
+        for demand in self._demands:
+            result = routes.route(demand.src, demand.dst)
+            for a, b in zip(result.path, result.path[1:]):
+                link = topo.link(a, b)
+                rho = min(max_utilisation,
+                          link.utilisation + demand.rate_bps / link.rate_bps)
+                link.utilisation = rho
+                loads[link.name] = rho
+        topo.refresh_weights()
+        return loads
+
+    @staticmethod
+    def reset(routes: RouteComputer) -> None:
+        """Zero all link utilisations and refresh routing weights."""
+        for link in routes.topology.links():
+            link.utilisation = 0.0
+        routes.topology.refresh_weights()

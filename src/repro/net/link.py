@@ -1,0 +1,160 @@
+"""Point-to-point link model.
+
+A link carries propagation (distance/medium), transmission
+(size/rate) and load-dependent queueing delay.  Radio access links are
+*not* modelled here — the RAN package owns the air interface, which has
+scheduling structure a plain queue cannot capture.  ``LinkKind.RADIO``
+exists for fixed wireless backhaul (microwave hops at c).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from .. import units
+from .latency import LatencyBreakdown
+from .node import Node
+from .queueing import mm1_wait, sample_mm1_wait
+
+__all__ = ["LinkKind", "Link"]
+
+#: Reference packet size for routing weights: a full-size ethernet frame.
+REFERENCE_PACKET_BITS: float = 1500.0 * 8.0
+
+
+class LinkKind(enum.Enum):
+    """Transmission medium of a link."""
+    FIBRE = "fibre"          #: long-haul / metro fibre (c / 1.5)
+    RADIO = "radio"          #: line-of-sight backhaul (c)
+    VIRTUAL = "virtual"      #: intra-site patch (negligible propagation)
+
+
+_PROPAGATION_SPEED = {
+    LinkKind.FIBRE: units.FIBRE_PROPAGATION_SPEED,
+    LinkKind.RADIO: units.RADIO_PROPAGATION_SPEED,
+    LinkKind.VIRTUAL: units.FIBRE_PROPAGATION_SPEED,
+}
+
+#: Deployed-fibre detour over great circle for long-haul links.
+_DEFAULT_CIRCUITY = {
+    LinkKind.FIBRE: 1.05,
+    LinkKind.RADIO: 1.0,
+    LinkKind.VIRTUAL: 1.0,
+}
+
+
+class Link:
+    """Bidirectional, symmetric point-to-point link.
+
+    Parameters
+    ----------
+    a, b:
+        Endpoint nodes.
+    kind:
+        Medium (sets propagation speed and default circuity).
+    rate_bps:
+        Line rate.
+    length_m:
+        Cable length.  Defaults to great-circle distance between the
+        endpoints scaled by the medium's circuity factor; pass explicitly
+        for deliberately detoured cables.
+    utilisation:
+        Background load in [0, 1); drives the M/M/1 queueing term.
+    """
+
+    __slots__ = ("a", "b", "kind", "rate_bps", "length_m", "_utilisation",
+                 "name")
+
+    def __init__(self, a: Node, b: Node, *,
+                 kind: LinkKind = LinkKind.FIBRE,
+                 rate_bps: float = units.gbps(10.0),
+                 length_m: Optional[float] = None,
+                 utilisation: float = 0.0,
+                 name: str = ""):
+        if a == b:
+            raise ValueError(f"self-loop link at {a.name!r}")
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps!r}")
+        if length_m is None:
+            length_m = a.distance_to(b) * _DEFAULT_CIRCUITY[kind]
+        if length_m < 0:
+            raise ValueError(f"negative link length {length_m!r}")
+        self.a = a
+        self.b = b
+        self.kind = kind
+        self.rate_bps = float(rate_bps)
+        self.length_m = float(length_m)
+        self.utilisation = utilisation  # property validates
+        self.name = name or f"{a.name}--{b.name}"
+
+    # -- load ----------------------------------------------------------------
+
+    @property
+    def utilisation(self) -> float:
+        return self._utilisation
+
+    @utilisation.setter
+    def utilisation(self, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise ValueError(
+                f"utilisation must be in [0, 1), got {value!r}")
+        self._utilisation = float(value)
+
+    # -- delay components ------------------------------------------------
+
+    def propagation_delay(self) -> float:
+        """One-way propagation delay, seconds."""
+        return self.length_m / _PROPAGATION_SPEED[self.kind]
+
+    def transmission_delay(self, size_bits: float) -> float:
+        """Serialization delay for a packet of ``size_bits``."""
+        return units.transmission_delay(size_bits, self.rate_bps)
+
+    def mean_queueing_delay(self, size_bits: float) -> float:
+        """Expected M/M/1 egress-queue wait for this load level."""
+        return mm1_wait(self._utilisation, self.transmission_delay(size_bits))
+
+    def sample_queueing_delay(self, size_bits: float,
+                              rng: np.random.Generator) -> float:
+        """Per-packet sampled egress-queue wait."""
+        return float(sample_mm1_wait(
+            self._utilisation, self.transmission_delay(size_bits), rng))
+
+    def one_way(self, size_bits: float = REFERENCE_PACKET_BITS,
+                rng: Optional[np.random.Generator] = None
+                ) -> LatencyBreakdown:
+        """One-way link delay (no endpoint processing).
+
+        With ``rng`` the queueing term is sampled; without, it is the
+        analytic mean (used for routing weights, which must be stable).
+        """
+        if rng is None:
+            queueing = self.mean_queueing_delay(size_bits)
+        else:
+            queueing = self.sample_queueing_delay(size_bits, rng)
+        return LatencyBreakdown(
+            propagation=self.propagation_delay(),
+            transmission=self.transmission_delay(size_bits),
+            queueing=queueing,
+        )
+
+    def routing_weight(self) -> float:
+        """Deterministic weight for shortest-latency routing, seconds."""
+        return self.one_way(REFERENCE_PACKET_BITS).total
+
+    def other(self, node: Node) -> Node:
+        """The endpoint that is not ``node``."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ValueError(f"{node.name!r} is not an endpoint of {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Link({self.name!r}, {self.kind.value}, "
+                f"{units.to_km(self.length_m):.1f} km, "
+                f"{units.to_mbps(self.rate_bps):.0f} Mbps, "
+                f"rho={self._utilisation:.2f})")

@@ -1,0 +1,109 @@
+"""Network node model.
+
+Every hop a packet can touch — routers, servers, probes, UEs, gNBs, UPFs,
+IXP fabrics — is a :class:`Node`.  Nodes carry a geographic position (the
+latency model turns inter-node distance into propagation delay), an
+owning autonomous system, an address/PTR identity (Table I rendering),
+and a per-packet forwarding delay.
+
+Forwarding delays default to published magnitudes: carrier-grade routers
+forward in tens of microseconds; servers and middleboxes add more.  The
+paper's observation that the *application layer added ~35 ms* (Fezeu) is
+modelled at the service endpoints, not in the network nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geo.coords import GeoPoint
+from .address import IPv4Address
+
+__all__ = ["NodeKind", "Node"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the topology."""
+
+    ROUTER = "router"            #: IP router (core/border/access)
+    SERVER = "server"            #: application/cloud server
+    PROBE = "probe"              #: measurement anchor (RIPE-Atlas-like)
+    UE = "ue"                    #: user equipment (mobile node)
+    GNB = "gnb"                  #: 5G/6G base station
+    UPF = "upf"                  #: user-plane function
+    GATEWAY = "gateway"          #: CGNAT / mobile-core packet gateway
+    IXP = "ixp"                  #: internet-exchange switching fabric
+    NF = "nf"                    #: control-plane network function host
+
+
+#: Default per-packet forwarding delay by node kind, seconds.
+DEFAULT_FORWARDING_DELAY: dict[NodeKind, float] = {
+    NodeKind.ROUTER: 50e-6,
+    NodeKind.SERVER: 200e-6,
+    NodeKind.PROBE: 100e-6,
+    NodeKind.UE: 300e-6,
+    NodeKind.GNB: 150e-6,
+    # Kernel-path UPF packet processing: the SmartNIC studies cited in
+    # Sec. V-B measure host-path UPFs at hundreds of microseconds.
+    NodeKind.UPF: 400e-6,
+    NodeKind.GATEWAY: 250e-6,
+    NodeKind.IXP: 20e-6,
+    NodeKind.NF: 200e-6,
+}
+
+
+@dataclass(eq=False)
+class Node:
+    """A vertex in the network topology.
+
+    ``name`` is the unique topology key.  ``display_name`` (PTR-style,
+    e.g. ``vl204.vie-itx1-core-2.cdn77.com``) is what traceroute renders;
+    it defaults to ``name``.
+    """
+
+    name: str
+    kind: NodeKind
+    location: GeoPoint
+    asn: Optional[int] = None
+    address: Optional[IPv4Address] = None
+    display_name: str = ""
+    forwarding_delay_s: float = field(default=-1.0)
+    #: arbitrary extra attributes (e.g. 'pop': 'vie')
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        if self.forwarding_delay_s < 0.0:
+            self.forwarding_delay_s = DEFAULT_FORWARDING_DELAY[self.kind]
+        if not self.display_name:
+            self.display_name = self.name
+
+    # Identity semantics: nodes are mutable carriers keyed by name.
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.name == self.name
+
+    @property
+    def hop_label(self) -> str:
+        """Traceroute rendering: ``display_name [addr]`` or bare address.
+
+        Matches the formatting of Table I, where hops with PTR records
+        show ``name [address]`` and hops without show the address alone.
+        """
+        if self.address is None:
+            return self.display_name
+        if self.display_name and self.display_name != str(self.address):
+            return f"{self.display_name} [{self.address}]"
+        return str(self.address)
+
+    def distance_to(self, other: "Node") -> float:
+        """Great-circle distance to another node, metres."""
+        return self.location.distance_to(other.location)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Node({self.name!r}, {self.kind.value}, AS{self.asn})"

@@ -1,0 +1,197 @@
+"""Router-level topology graph.
+
+Thin, validating wrapper over :class:`networkx.Graph`: nodes are keyed by
+name (carrying :class:`~repro.net.node.Node` objects), edges carry
+:class:`~repro.net.link.Link` objects.  Provides latency-weighted
+shortest paths and end-to-end latency composition; AS-level *policy*
+path selection lives in :mod:`repro.net.bgp` and stitches through this
+graph for the intra-AS segments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+import numpy as np
+
+from .latency import LatencyBreakdown
+from .link import Link, REFERENCE_PACKET_BITS
+from .node import Node
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """A named collection of nodes and links."""
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self._graph = nx.Graph()
+        self._nodes: dict[str, Node] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Insert ``node``; duplicate names are rejected."""
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._graph.add_node(node.name)
+        return node
+
+    def add_link(self, link: Link) -> Link:
+        """Insert ``link``; both endpoints must already be present."""
+        for end in (link.a, link.b):
+            if end.name not in self._nodes:
+                raise KeyError(f"link endpoint {end.name!r} not in topology")
+        if self._graph.has_edge(link.a.name, link.b.name):
+            raise ValueError(
+                f"parallel link {link.a.name!r}--{link.b.name!r}")
+        self._graph.add_edge(link.a.name, link.b.name, link=link,
+                             weight=link.routing_weight())
+        return link
+
+    def connect(self, a: Node | str, b: Node | str, **link_kwargs) -> Link:
+        """Convenience: build and insert a link between two nodes."""
+        node_a = self.node(a if isinstance(a, str) else a.name)
+        node_b = self.node(b if isinstance(b, str) else b.name)
+        link = Link(node_a, node_b, **link_kwargs)
+        return self.add_link(link)
+
+    def refresh_weights(self) -> None:
+        """Recompute routing weights after utilisation changes."""
+        for _, _, data in self._graph.edges(data=True):
+            data["weight"] = data["link"].routing_weight()
+
+    # -- lookup -------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        """True when ``name`` is a node of this topology."""
+        return name in self._nodes
+
+    def link(self, a: str, b: str) -> Link:
+        """The link between two adjacent nodes."""
+        try:
+            return self._graph.edges[a, b]["link"]
+        except KeyError:
+            raise KeyError(f"no link {a!r}--{b!r}") from None
+
+    def has_link(self, a: str, b: str) -> bool:
+        """True when nodes ``a`` and ``b`` are directly linked."""
+        return self._graph.has_edge(a, b)
+
+    def remove_link(self, a: str, b: str) -> None:
+        """Remove a link (failure injection / de-peering)."""
+        if not self._graph.has_edge(a, b):
+            raise KeyError(f"no link {a!r}--{b!r}")
+        self._graph.remove_edge(a, b)
+
+    def nodes(self, kind=None, asn: Optional[int] = None) -> Iterator[Node]:
+        """All nodes, optionally filtered by kind and/or AS number."""
+        for node in self._nodes.values():
+            if kind is not None and node.kind != kind:
+                continue
+            if asn is not None and node.asn != asn:
+                continue
+            yield node
+
+    def links(self) -> Iterator[Link]:
+        """Iterate over all links."""
+        for _, _, data in self._graph.edges(data=True):
+            yield data["link"]
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def link_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    def degree(self, name: str) -> int:
+        """Number of links incident to a node."""
+        if name not in self._nodes:
+            raise KeyError(f"unknown node {name!r}")
+        return self._graph.degree[name]
+
+    # -- paths ----------------------------------------------------------------
+
+    def shortest_path(self, src: str, dst: str,
+                      within_asn: Optional[int] = None) -> list[str]:
+        """Minimum-latency path as a list of node names.
+
+        ``within_asn`` restricts the search to one AS's subgraph (used by
+        BGP stitching for intra-AS segments; border routers of the AS are
+        included by their ``asn`` attribute).
+        """
+        graph = self._graph
+        if within_asn is not None:
+            members = [n for n, node in self._nodes.items()
+                       if node.asn == within_asn]
+            graph = self._graph.subgraph(members)
+        try:
+            return nx.shortest_path(graph, src, dst, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise nx.NetworkXNoPath(
+                f"no path {src!r} -> {dst!r}"
+                + (f" inside AS{within_asn}" if within_asn else "")) from None
+
+    def path_latency(self, path: list[str],
+                     size_bits: float = REFERENCE_PACKET_BITS,
+                     rng: Optional[np.random.Generator] = None,
+                     include_endpoints: bool = False) -> LatencyBreakdown:
+        """One-way latency of ``path`` (list of node names).
+
+        Sums link delays plus forwarding delay at every *intermediate*
+        node; ``include_endpoints`` adds the first/last node's processing
+        too (hosts' stack traversal).  With ``rng``, queueing is sampled
+        per link.
+        """
+        if len(path) < 2:
+            raise ValueError("path must contain at least two nodes")
+        total = LatencyBreakdown.zero()
+        for a, b in zip(path, path[1:]):
+            total = total + self.link(a, b).one_way(size_bits, rng)
+        hops = path if include_endpoints else path[1:-1]
+        processing = sum(self._nodes[n].forwarding_delay_s for n in hops)
+        return total + LatencyBreakdown(processing=processing)
+
+    def round_trip(self, path: list[str],
+                   size_bits: float = REFERENCE_PACKET_BITS,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> LatencyBreakdown:
+        """RTT over ``path``: forward plus (independently sampled) return."""
+        forward = self.path_latency(path, size_bits, rng)
+        back = self.path_latency(path[::-1], size_bits, rng)
+        return forward + back
+
+    # -- analysis ---------------------------------------------------------
+
+    def geographic_path_length(self, path: list[str]) -> float:
+        """Total cable length along ``path``, metres (Fig. 4's 2544 km)."""
+        if len(path) < 2:
+            return 0.0
+        return sum(self.link(a, b).length_m for a, b in zip(path, path[1:]))
+
+    def subgraph_nodes(self, names: Iterable[str]) -> "Topology":
+        """Copy of the topology restricted to ``names`` (for what-ifs)."""
+        names = set(names)
+        sub = Topology(name=f"{self.name}/sub")
+        for name in names:
+            sub.add_node(self.node(name))
+        for link in self.links():
+            if link.a.name in names and link.b.name in names:
+                sub.add_link(link)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Topology({self.name!r}, nodes={self.node_count}, "
+                f"links={self.link_count})")

@@ -1,0 +1,103 @@
+"""Hop-by-hop route tracing (Table I / Fig. 4 generator).
+
+Emulates ICMP-TTL traceroute over a resolved
+:class:`~repro.net.routing.RouteResult`: one probe per hop, each probe
+independently sampling queueing along the truncated path, the responder
+adding its own forwarding delay.  Output renders exactly like the
+paper's Table I (``Hop | Node``) plus the geographic route summary used
+by Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .. import units
+from .routing import RouteResult
+from .topology import Topology
+
+__all__ = ["TracerouteHop", "TracerouteResult", "traceroute"]
+
+#: Traceroute probes are small UDP/ICMP packets.
+PROBE_SIZE_BITS: float = 64.0 * 8.0
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteHop:
+    """One row of a traceroute."""
+
+    index: int          #: 1-based hop number (hop 1 = first gateway)
+    node_name: str      #: topology key
+    label: str          #: Table-I-style rendering (PTR [addr] or addr)
+    rtt_s: float        #: round-trip time of this hop's probe
+
+
+@dataclass(frozen=True)
+class TracerouteResult:
+    """A completed trace."""
+
+    src: str
+    dst: str
+    hops: tuple[TracerouteHop, ...]
+    geographic_length_m: float  #: cable length of the full path (Fig. 4)
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+    @property
+    def total_rtt_s(self) -> float:
+        """RTT to the final hop (the destination)."""
+        if not self.hops:
+            raise ValueError("empty traceroute")
+        return self.hops[-1].rtt_s
+
+    def render_table(self, title: str = "NETWORKING HOPS") -> str:
+        """ASCII rendering in the shape of the paper's Table I."""
+        width = max([len(h.label) for h in self.hops] + [4])
+        lines = [title, f"{'Hop':>3}  {'Node':<{width}}"]
+        lines += [f"{h.index:>3}  {h.label:<{width}}" for h in self.hops]
+        lines.append(
+            f"total: {self.hop_count} hops, "
+            f"{units.to_ms(self.total_rtt_s):.0f} ms RTT, "
+            f"{units.to_km(self.geographic_length_m):.0f} km path")
+        return "\n".join(lines)
+
+
+def traceroute(topology: Topology, route: RouteResult,
+               rng: Optional[np.random.Generator] = None,
+               probe_size_bits: float = PROBE_SIZE_BITS) -> TracerouteResult:
+    """Trace ``route`` hop by hop.
+
+    For hop *i* the probe traverses the first *i* links and back, paying
+    forwarding delay at intermediate routers both ways plus the
+    responder's own processing once (TTL-expiry handling is on the slow
+    path of real routers; we fold that into the node's forwarding delay).
+    Without ``rng``, queueing terms are analytic means, making the trace
+    deterministic (used by tests; benches pass a generator).
+    """
+    path = list(route.path)
+    if len(path) < 2:
+        raise ValueError("route path must contain at least two nodes")
+    hops: list[TracerouteHop] = []
+    for i in range(1, len(path)):
+        prefix = path[: i + 1]
+        forward = topology.path_latency(prefix, probe_size_bits, rng)
+        back = topology.path_latency(prefix[::-1], probe_size_bits, rng)
+        responder = topology.node(path[i])
+        rtt = forward.total + back.total + responder.forwarding_delay_s
+        hops.append(TracerouteHop(
+            index=i,
+            node_name=responder.name,
+            label=responder.hop_label,
+            rtt_s=rtt,
+        ))
+    return TracerouteResult(
+        src=route.src,
+        dst=route.dst,
+        hops=tuple(hops),
+        geographic_length_m=topology.geographic_path_length(path),
+    )

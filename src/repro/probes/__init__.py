@@ -1,0 +1,17 @@
+"""Measurement framework: probes, pings, drive-test campaign, statistics."""
+
+from .analysis import Cdf, DatasetAnalysis
+from .atlas import Probe, ProbeKind, ProbeRegistry
+from .campaign import CampaignConfig, DriveTestCampaign
+from .ping import ping
+from .results import MeasurementDataset, MeasurementRecord
+from .stats import CellAggregate, CellStatistics, MIN_SAMPLES
+
+__all__ = [
+    "Cdf", "DatasetAnalysis",
+    "Probe", "ProbeKind", "ProbeRegistry",
+    "CampaignConfig", "DriveTestCampaign",
+    "ping",
+    "MeasurementDataset", "MeasurementRecord",
+    "CellAggregate", "CellStatistics", "MIN_SAMPLES",
+]

@@ -1,0 +1,133 @@
+"""Campaign dataset analysis beyond the paper's mean/std heatmaps.
+
+The paper presents per-cell means and standard deviations; anyone
+extending the study (its stated future work) immediately needs more:
+distribution comparisons between cells, tail percentiles, per-target
+decomposition, and budget-violation maps.  These operate on the
+column-oriented :class:`~repro.probes.results.MeasurementDataset`
+without materialising row objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo.grid import CellId, Grid
+from .results import MeasurementDataset
+
+__all__ = ["Cdf", "DatasetAnalysis"]
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF."""
+
+    values: np.ndarray      #: sorted sample values
+    probabilities: np.ndarray
+
+    @classmethod
+    def of(cls, samples: np.ndarray) -> "Cdf":
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.size == 0:
+            raise ValueError("cannot build a CDF from zero samples")
+        ordered = np.sort(samples)
+        probs = np.arange(1, ordered.size + 1) / ordered.size
+        return cls(values=ordered, probabilities=probs)
+
+    def at(self, value: float) -> float:
+        """P(X <= value)."""
+        return float(np.searchsorted(self.values, value, side="right")
+                     / self.values.size)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        index = min(int(np.ceil(q * self.values.size)) - 1,
+                    self.values.size - 1)
+        return float(self.values[max(index, 0)])
+
+
+class DatasetAnalysis:
+    """Analysis helpers over one campaign dataset."""
+
+    def __init__(self, grid: Grid, dataset: MeasurementDataset):
+        if len(dataset) == 0:
+            raise ValueError("empty dataset")
+        self.grid = grid
+        self.dataset = dataset
+
+    # -- distributions ------------------------------------------------------
+
+    def cell_cdf(self, cell: CellId) -> Cdf:
+        """Empirical RTT CDF of one cell's samples."""
+        rtts = self.dataset.rtts_in(cell)
+        if rtts.size == 0:
+            raise ValueError(f"no samples in cell {cell.label}")
+        return Cdf.of(rtts)
+
+    def overall_cdf(self) -> Cdf:
+        """Empirical RTT CDF of the whole campaign."""
+        return Cdf.of(self.dataset.rtts)
+
+    def percentile_matrix_ms(self, q: float) -> np.ndarray:
+        """(rows x cols) matrix of the q-quantile RTT per cell, ms.
+
+        Cells without samples are 0.0 (the paper's mask convention).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        out = np.zeros((self.grid.rows, self.grid.cols))
+        for cell in self.grid.cells():
+            rtts = self.dataset.rtts_in(cell)
+            if rtts.size:
+                out[cell.row, cell.col] = Cdf.of(rtts).quantile(q) * 1e3
+        return out
+
+    # -- budget analysis -----------------------------------------------------
+
+    def violation_matrix(self, budget_s: float) -> np.ndarray:
+        """Fraction of samples over ``budget_s`` per cell (0 where no
+        samples)."""
+        if budget_s <= 0:
+            raise ValueError("budget must be positive")
+        out = np.zeros((self.grid.rows, self.grid.cols))
+        for cell in self.grid.cells():
+            rtts = self.dataset.rtts_in(cell)
+            if rtts.size:
+                out[cell.row, cell.col] = float((rtts > budget_s).mean())
+        return out
+
+    def worst_cells(self, n: int = 5) -> list[tuple[CellId, float]]:
+        """The ``n`` cells with the highest mean RTT."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        means = []
+        for cell in self.dataset.cells_observed():
+            rtts = self.dataset.rtts_in(cell)
+            means.append((cell, float(rtts.mean())))
+        means.sort(key=lambda pair: pair[1], reverse=True)
+        return means[:n]
+
+    # -- per-target decomposition ------------------------------------------
+
+    def target_means_s(self) -> dict[str, float]:
+        """Mean RTT per measurement target across the whole campaign."""
+        out: dict[str, list[float]] = {}
+        for record in self.dataset.records():
+            out.setdefault(record.target, []).append(record.rtt_s)
+        return {target: float(np.mean(values))
+                for target, values in out.items()}
+
+    def wired_vs_peer_gap_s(self, wired_targets: set[str]) -> float:
+        """Mean(wired-target RTT) - mean(peer RTT): how much of the
+        field is the internet path versus the second air interface."""
+        wired, peer = [], []
+        for record in self.dataset.records():
+            (wired if record.target in wired_targets
+             else peer).append(record.rtt_s)
+        if not wired or not peer:
+            raise ValueError("need both wired and peer samples")
+        return float(np.mean(wired) - np.mean(peer))

@@ -1,0 +1,100 @@
+"""Probe registry (RIPE-Atlas substitute).
+
+The paper measures against "the RIPE Atlas probe hosted at the
+University of Klagenfurt" plus eight peer nodes per sector.  Atlas
+itself is just a registry of measurement endpoints with known locations
+that answer ICMP; this module provides exactly that over the simulated
+topology: anchors (always-on, wired) and probes, each bound to a
+topology node.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..geo.coords import GeoPoint
+from ..geo.grid import CellId, Grid
+
+__all__ = ["ProbeKind", "Probe", "ProbeRegistry"]
+
+
+class ProbeKind(enum.Enum):
+    """Measurement-endpoint class (anchor vs ordinary probe)."""
+    ANCHOR = "anchor"      #: well-connected reference (the university probe)
+    PROBE = "probe"        #: ordinary volunteer probe (the 8 peers)
+
+
+@dataclass(frozen=True, slots=True)
+class Probe:
+    """A measurement endpoint bound to a topology node."""
+
+    probe_id: int
+    name: str
+    node_name: str          #: key into the Topology
+    location: GeoPoint
+    kind: ProbeKind = ProbeKind.PROBE
+
+    def __post_init__(self) -> None:
+        if self.probe_id < 0:
+            raise ValueError("probe id must be non-negative")
+        if not self.name or not self.node_name:
+            raise ValueError("probe and node names must be non-empty")
+
+
+class ProbeRegistry:
+    """All measurement endpoints of a campaign."""
+
+    def __init__(self):
+        self._probes: dict[int, Probe] = {}
+        self._by_name: dict[str, Probe] = {}
+
+    def register(self, probe: Probe) -> Probe:
+        """Register a probe; duplicate ids/names are rejected."""
+        if probe.probe_id in self._probes:
+            raise ValueError(f"duplicate probe id {probe.probe_id}")
+        if probe.name in self._by_name:
+            raise ValueError(f"duplicate probe name {probe.name!r}")
+        self._probes[probe.probe_id] = probe
+        self._by_name[probe.name] = probe
+        return probe
+
+    def probe(self, probe_id: int) -> Probe:
+        """Look up a probe by id."""
+        try:
+            return self._probes[probe_id]
+        except KeyError:
+            raise KeyError(f"unknown probe id {probe_id}") from None
+
+    def by_name(self, name: str) -> Probe:
+        """Look up a probe by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown probe {name!r}") from None
+
+    def __iter__(self) -> Iterator[Probe]:
+        return iter(self._probes.values())
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def anchors(self) -> list[Probe]:
+        """All always-on anchor probes."""
+        return [p for p in self._probes.values()
+                if p.kind is ProbeKind.ANCHOR]
+
+    def in_cell(self, grid: Grid, cell: CellId) -> list[Probe]:
+        """Probes physically located inside one grid cell."""
+        return [p for p in self._probes.values()
+                if grid.locate(p.location) == cell]
+
+    def nearest(self, point: GeoPoint, *,
+                kind: Optional[ProbeKind] = None) -> Probe:
+        """Closest probe to ``point`` (optionally of one kind)."""
+        candidates = [p for p in self._probes.values()
+                      if kind is None or p.kind is kind]
+        if not candidates:
+            raise LookupError("no matching probes registered")
+        return min(candidates, key=lambda p: p.location.distance_to(point))

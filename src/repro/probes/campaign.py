@@ -1,0 +1,238 @@
+"""The drive-test measurement campaign (Section IV-B/IV-C).
+
+Orchestrates the full end-to-end pipeline for every measurement the
+mobile node takes.  Two kinds of measurement targets exist, matching
+the paper's setup:
+
+* **mobile peers** — "eight other nodes within the same sector", which
+  are themselves 5G UEs.  Their RTT crosses *two* air interfaces plus a
+  gateway hairpin (UE -> gNB -> gateway -> gNB' -> UE'), which is why
+  mobile-to-mobile RTL sits far above the wired baseline (the paper's
+  "factor of seven").
+* **wired targets** — the RIPE-Atlas-style anchor at the university.
+  Its RTT crosses one air interface, the mobile core, and then the
+  *policy-routed public internet* (the Table I / Fig. 4 detour).
+
+Gateway breakout: mobile operators terminate user-plane sessions at
+CGNAT/UPF sites in a handful of cities, and which breakout a session
+lands on is operator policy, not geography.  The scenario can therefore
+assign entire cells to different gateways (e.g. a Frankfurt breakout),
+which adds large *deterministic* propagation — the mechanism behind
+high-mean/low-variance cells such as the paper's B3.
+
+Every stochastic draw comes from named streams of one
+:class:`~repro.sim.rng.RngRegistry`, so a campaign is a pure function
+of (scenario, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from .. import units
+from ..cn.upf import UserPlaneFunction
+from ..geo.grid import CellId, Grid
+from ..geo.mobility import DriveTestRoute
+from ..net.routing import RouteComputer
+from ..ran.gnb import RadioNetwork
+from ..sim.rng import RngRegistry
+from .results import MeasurementDataset
+
+__all__ = ["Gateway", "MobilePeer", "CampaignConfig", "DriveTestCampaign"]
+
+#: Echo payload over the air / wire.
+PING_SIZE_BITS: float = 64.0 * 8.0
+
+
+@dataclass(frozen=True)
+class Gateway:
+    """A user-plane breakout site (UPF + CGNAT) of the mobile operator."""
+
+    name: str
+    node_name: str             #: egress node in the internet topology
+    upf: UserPlaneFunction
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.node_name:
+            raise ValueError("gateway and node names must be non-empty")
+
+
+@dataclass(frozen=True)
+class MobilePeer:
+    """A peer UE target, described by its radio situation."""
+
+    name: str
+    air_load: float = 0.6       #: scheduler load at the peer's cell
+    sinr_db: float = 12.0
+    #: peer's gateway (None = same gateway as the measuring UE)
+    gateway: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("peer name must be non-empty")
+        if not 0.0 <= self.air_load < 1.0:
+            raise ValueError("peer air load must be in [0, 1)")
+
+
+@dataclass
+class CampaignConfig:
+    """Per-cell scenario knobs for the campaign."""
+
+    #: cell -> target names; names resolve to mobile peers first, then
+    #: to wired topology nodes.
+    targets: Mapping[CellId, Sequence[str]]
+    #: gateway registry; must contain ``default_gateway``
+    gateways: Mapping[str, Gateway]
+    default_gateway: str
+    #: mobile-peer registry (targets not listed here must be topology nodes)
+    peers: Mapping[str, MobilePeer] = field(default_factory=dict)
+    default_targets: Sequence[str] = ()
+    #: cell -> gateway name (breakout assignment)
+    gateway_by_cell: Mapping[CellId, str] = field(default_factory=dict)
+    #: per-cell scheduler-load deviation from the serving gNB's base
+    #: load (may be negative for quiet cells; the total is clamped)
+    cell_extra_load: Mapping[CellId, float] = field(default_factory=dict)
+    #: chance a measurement window contains a handover interruption
+    handover_prob: Mapping[CellId, float] = field(default_factory=dict)
+    handover_interruption_s: float = 45e-3
+    max_cell_load: float = 0.93
+
+    def __post_init__(self) -> None:
+        if not self.targets and not self.default_targets:
+            raise ValueError("campaign needs targets")
+        if self.default_gateway not in self.gateways:
+            raise ValueError(
+                f"default gateway {self.default_gateway!r} not registered")
+        for cell, gw in self.gateway_by_cell.items():
+            if gw not in self.gateways:
+                raise ValueError(f"cell {cell.label} assigned to unknown "
+                                 f"gateway {gw!r}")
+        for cell, p in self.handover_prob.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"handover prob for {cell.label} not in [0, 1]")
+        if self.handover_interruption_s < 0:
+            raise ValueError("interruption must be non-negative")
+        if not 0.0 < self.max_cell_load < 1.0:
+            raise ValueError("max cell load must be in (0, 1)")
+
+
+class DriveTestCampaign:
+    """Runs the mobile measurement campaign over a built scenario."""
+
+    def __init__(self, *, grid: Grid, route: DriveTestRoute,
+                 radio: RadioNetwork, routes: RouteComputer,
+                 config: CampaignConfig, rng: RngRegistry):
+        topo = routes.topology
+        for gw in config.gateways.values():
+            if not topo.has_node(gw.node_name):
+                raise KeyError(
+                    f"gateway node {gw.node_name!r} not in topology")
+        self.grid = grid
+        self.route = route
+        self.radio = radio
+        self.routes = routes
+        self.config = config
+        self.rng = rng
+
+    # -- helpers -----------------------------------------------------------
+
+    def _gateway_for(self, cell: CellId) -> Gateway:
+        name = self.config.gateway_by_cell.get(
+            cell, self.config.default_gateway)
+        return self.config.gateways[name]
+
+    def _cell_load(self, cell: CellId, base: float) -> float:
+        extra = self.config.cell_extra_load.get(cell, 0.0)
+        return float(np.clip(base + extra, 0.0, self.config.max_cell_load))
+
+    def _backhaul_one_way_s(self, gnb_location, gateway: Gateway) -> float:
+        gw_loc = self.routes.topology.node(gateway.node_name).location
+        return units.fibre_delay(gnb_location.distance_to(gw_loc) * 1.05)
+
+    # -- single measurement ---------------------------------------------------
+
+    def sample_rtt(self, position, cell: CellId, target: str) -> float:
+        """One end-to-end RTT measurement from ``position`` to ``target``."""
+        rng_air = self.rng.stream("campaign.air", cell.label)
+        rng_net = self.rng.stream("campaign.net", cell.label)
+        rng_ho = self.rng.stream("campaign.handover", cell.label)
+        gateway = self._gateway_for(cell)
+
+        # Own radio access leg.
+        gnb, sinr_db = self.radio.serving(position)
+        load = self._cell_load(cell, gnb.load)
+        air = self.radio.air_interface(gnb)
+        rtt = air.sample_rtt(rng_air, load=load, sinr_db=sinr_db)
+
+        # Own core leg: backhaul both ways + gateway processing each way.
+        rtt += 2.0 * self._backhaul_one_way_s(gnb.location, gateway)
+        rtt += 2.0 * gateway.upf.sample_latency_s(
+            rng_net, packet_bits=PING_SIZE_BITS)
+
+        peer = self.config.peers.get(target)
+        if peer is not None:
+            rtt += self._peer_leg(peer, gateway, rng_air, rng_net)
+        else:
+            rtt += self._wired_leg(target, gateway, rng_net)
+
+        # Handover interruption landing in the measurement window.
+        p_ho = self.config.handover_prob.get(cell, 0.0)
+        if p_ho > 0.0 and rng_ho.random() < p_ho:
+            rtt += self.config.handover_interruption_s * \
+                rng_ho.uniform(0.5, 1.0)
+        return rtt
+
+    def _peer_leg(self, peer: MobilePeer, own_gateway: Gateway,
+                  rng_air, rng_net) -> float:
+        """Hairpin to a mobile peer: optional inter-gateway transit, the
+        peer's core leg, and the peer's own air interface."""
+        leg = 0.0
+        peer_gateway = own_gateway if peer.gateway is None \
+            else self.config.gateways[peer.gateway]
+        if peer_gateway.name != own_gateway.name:
+            path = list(self.routes.route(own_gateway.node_name,
+                                          peer_gateway.node_name).path)
+            leg += self.routes.topology.round_trip(
+                path, PING_SIZE_BITS, rng_net).total
+        # Peer's core leg: its gateway's processing + backhaul back down
+        # to the peer's serving gNB (approximated by the measuring UE's
+        # metro, i.e. the radio network's first site's distance).
+        leg += 2.0 * peer_gateway.upf.sample_latency_s(
+            rng_net, packet_bits=PING_SIZE_BITS)
+        peer_gnb = self.radio.gnbs()[0]
+        leg += 2.0 * self._backhaul_one_way_s(
+            peer_gnb.location, peer_gateway)
+        # Peer's air interface.
+        peer_air = self.radio.air_interface(peer_gnb)
+        leg += peer_air.sample_rtt(rng_air, load=peer.air_load,
+                                   sinr_db=peer.sinr_db)
+        return leg
+
+    def _wired_leg(self, target: str, gateway: Gateway, rng_net) -> float:
+        """Policy-routed internet round trip to a wired target."""
+        path = list(self.routes.route(gateway.node_name, target).path)
+        leg = self.routes.topology.round_trip(
+            path, PING_SIZE_BITS, rng_net).total
+        leg += self.routes.topology.node(target).forwarding_delay_s
+        return leg
+
+    # -- full campaign -----------------------------------------------------
+
+    def run(self) -> MeasurementDataset:
+        """Drive the route; measure each position against the cell's
+        targets; return the dataset."""
+        dataset = MeasurementDataset()
+        for sample in self.route.walk():
+            cell = sample.cell
+            if cell is None:
+                continue
+            targets = self.config.targets.get(
+                cell, self.config.default_targets)
+            for target in targets:
+                rtt = self.sample_rtt(sample.position, cell, target)
+                dataset.add(sample.time, cell, target, rtt)
+        return dataset

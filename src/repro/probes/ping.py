@@ -1,0 +1,41 @@
+"""Wired ping measurements between topology nodes.
+
+Used for the *static node* baseline the paper compares against (wired
+RTTs of 7-12 ms to a cloud region, [3]) and for probe-to-probe checks.
+Each echo independently samples queueing along the policy-selected
+route, like a real ping train.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..net.routing import RouteComputer
+
+__all__ = ["ping"]
+
+#: ICMP echo size.
+PING_SIZE_BITS: float = 64.0 * 8.0
+
+
+def ping(routes: RouteComputer, src: str, dst: str,
+         rng: np.random.Generator, *, count: int = 10,
+         size_bits: float = PING_SIZE_BITS) -> np.ndarray:
+    """RTTs (seconds) of ``count`` echo requests from ``src`` to ``dst``.
+
+    Endpoint stack traversal is included once per direction (the echo
+    responder answers in its network stack, billed at the destination
+    node's forwarding delay).
+    """
+    if count < 1:
+        raise ValueError("ping count must be >= 1")
+    topo = routes.topology
+    result = routes.route(src, dst)
+    path = list(result.path)
+    dst_processing = topo.node(dst).forwarding_delay_s
+    rtts = np.empty(count, dtype=np.float64)
+    for i in range(count):
+        forward = topo.path_latency(path, size_bits, rng)
+        back = topo.path_latency(path[::-1], size_bits, rng)
+        rtts[i] = forward.total + back.total + dst_processing
+    return rtts

@@ -1,0 +1,38 @@
+"""Radio access network: spectrum, PHY/MAC latency, channel, sites, O-RAN."""
+
+from .access import AccessProcedure
+from .beam import BeamConfig, BeamManager
+from .channel import ChannelModel
+from .drx import DrxConfig, DrxModel
+from .energy import DIURNAL_URBAN_PROFILE, EnergyModel, SitePowerModel
+from .gnb import GNodeB, RadioNetwork
+from .handover import HandoverEvent, HandoverModel
+from .phy import AirInterface, AirSample
+from .rrc import RrcConfig, RrcState, RrcStateMachine
+from .scheduler import CellLoadModel, SchedulerPolicy
+from .spectrum import Band, Generation, Numerology, RadioConfig
+from .oran import (
+    ControlProcedure,
+    NearRTRIC,
+    NonRTRIC,
+    RicTier,
+    ServiceManagementOrchestration,
+    SignallingLeg,
+    XApp,
+)
+
+__all__ = [
+    "AccessProcedure",
+    "BeamConfig", "BeamManager",
+    "ChannelModel",
+    "EnergyModel", "SitePowerModel", "DIURNAL_URBAN_PROFILE",
+    "DrxConfig", "DrxModel",
+    "GNodeB", "RadioNetwork",
+    "HandoverEvent", "HandoverModel",
+    "AirInterface", "AirSample",
+    "RrcConfig", "RrcState", "RrcStateMachine",
+    "CellLoadModel", "SchedulerPolicy",
+    "Band", "Generation", "Numerology", "RadioConfig",
+    "ControlProcedure", "NearRTRIC", "NonRTRIC", "RicTier",
+    "ServiceManagementOrchestration", "SignallingLeg", "XApp",
+]

@@ -1,0 +1,95 @@
+"""Random-access (RACH) and connection-setup procedures.
+
+Idle-to-connected transitions matter for the AR use case: a controller
+event arriving while the UE has drifted to RRC-idle pays the full
+four-step random access before the first byte moves.  The model follows
+the 3GPP contention-based procedure:
+
+1. wait for the next PRACH occasion,
+2. transmit the preamble; await the random-access response (RAR),
+3. send Msg3 (RRC request) on the granted UL resources,
+4. contention resolution (Msg4).
+
+Collisions (two UEs picking the same preamble) force a backoff and
+retry, which is what couples setup latency to device density — the
+scalability requirement of Sec. III-C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spectrum import RadioConfig
+
+__all__ = ["AccessProcedure"]
+
+
+class AccessProcedure:
+    """Contention-based random access for one radio configuration."""
+
+    def __init__(self, config: RadioConfig, *,
+                 prach_period_s: float = 10e-3,
+                 rar_window_s: float = 5e-3,
+                 n_preambles: int = 54,
+                 max_attempts: int = 10,
+                 backoff_s: float = 20e-3):
+        if prach_period_s <= 0 or rar_window_s <= 0 or backoff_s <= 0:
+            raise ValueError("procedure timings must be positive")
+        if n_preambles < 1 or max_attempts < 1:
+            raise ValueError("preamble and attempt counts must be >= 1")
+        self.config = config
+        self.prach_period_s = prach_period_s
+        self.rar_window_s = rar_window_s
+        self.n_preambles = n_preambles
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+
+    def collision_probability(self, contenders: int) -> float:
+        """P(chosen preamble is also chosen by someone else).
+
+        For ``m`` other contenders over ``K`` preambles:
+        ``1 - (1 - 1/K)^m``.
+        """
+        if contenders < 0:
+            raise ValueError("contender count must be non-negative")
+        others = max(contenders - 1, 0)
+        return 1.0 - (1.0 - 1.0 / self.n_preambles) ** others
+
+    def sample_attach(self, rng: np.random.Generator, *,
+                      contenders: int = 1) -> float:
+        """One full attach latency, seconds.
+
+        Raises :class:`RuntimeError` after ``max_attempts`` failures —
+        a cell so overloaded that attach fails is a real outcome the
+        scalability sweep needs to see, not an infinite loop.
+        """
+        p_coll = self.collision_probability(contenders)
+        slot = self.config.slot_s
+        total = 0.0
+        for _ in range(self.max_attempts):
+            total += rng.uniform(0.0, self.prach_period_s)   # PRACH occasion
+            total += rng.uniform(slot, self.rar_window_s)    # RAR wait
+            if rng.random() < p_coll:
+                total += rng.uniform(0.0, self.backoff_s)
+                continue
+            total += 2 * slot          # Msg3
+            total += 2 * slot          # contention resolution (Msg4)
+            return total
+        raise RuntimeError(
+            f"random access failed after {self.max_attempts} attempts "
+            f"({contenders} contenders)")
+
+    def mean_attach(self, contenders: int = 1) -> float:
+        """Expected attach latency (ignoring the failure truncation)."""
+        p = self.collision_probability(contenders)
+        if p >= 1.0:
+            raise ValueError("collision probability saturated; "
+                             "mean attach undefined")
+        slot = self.config.slot_s
+        per_attempt = (self.prach_period_s / 2.0
+                       + (slot + self.rar_window_s) / 2.0)
+        success_tail = 4 * slot
+        # Geometric number of attempts with success probability 1-p.
+        mean_attempts = 1.0 / (1.0 - p)
+        mean_backoffs = (mean_attempts - 1.0) * self.backoff_s / 2.0
+        return per_attempt * mean_attempts + mean_backoffs + success_tail

@@ -1,0 +1,109 @@
+"""FR2/sub-THz beam management.
+
+mmWave (and later sub-THz) links are directional: the gNB and UE must
+agree on a beam pair, re-sweep periodically, and recover when a beam
+is blocked (a hand, a bus, a wall).  This is the mechanism behind the
+heavy mmWave latency tails the paper cites from Fezeu et al. [22], and
+it only gets harder at 6G carrier frequencies — the narrower the beam,
+the bigger the sweep space and the more frequent the blockage.
+
+Model:
+
+* a codebook of ``n_beams`` beams swept at ``ssb_period_s`` intervals
+  (one SSB burst covers ``beams_per_burst`` beams);
+* initial beam acquisition = sweeping the full codebook;
+* blockage events arrive at ``blockage_rate_hz``; each triggers beam
+  failure recovery: detection (a few SSB periods) plus a RACH-based
+  recovery, during which the link is down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BeamConfig", "BeamManager"]
+
+
+@dataclass(frozen=True)
+class BeamConfig:
+    """Beam-management parameters for one carrier."""
+
+    n_beams: int = 64
+    beams_per_burst: int = 8
+    ssb_period_s: float = 20e-3
+    #: SSB periods without a usable beam before failure is declared
+    failure_detection_bursts: int = 2
+    #: RACH-based recovery once failure is declared
+    recovery_s: float = 10e-3
+    #: mean blockage events per second (urban pedestrian: ~0.1-0.2)
+    blockage_rate_hz: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.n_beams < 1 or self.beams_per_burst < 1:
+            raise ValueError("beam counts must be >= 1")
+        if self.beams_per_burst > self.n_beams:
+            raise ValueError("burst cannot exceed the codebook")
+        if self.ssb_period_s <= 0 or self.recovery_s < 0:
+            raise ValueError("timings must be positive")
+        if self.failure_detection_bursts < 1:
+            raise ValueError("detection needs at least one burst")
+        if self.blockage_rate_hz < 0:
+            raise ValueError("blockage rate must be non-negative")
+
+
+class BeamManager:
+    """Latency consequences of beam management."""
+
+    def __init__(self, config: BeamConfig):
+        self.config = config
+
+    @property
+    def sweep_bursts(self) -> int:
+        """SSB bursts needed to sweep the full codebook."""
+        cfg = self.config
+        return -(-cfg.n_beams // cfg.beams_per_burst)
+
+    def initial_acquisition_s(self) -> float:
+        """Worst-case time to find the best beam from cold."""
+        return self.sweep_bursts * self.config.ssb_period_s
+
+    def failure_outage_s(self) -> float:
+        """Link outage per beam failure: detection + recovery."""
+        cfg = self.config
+        return (cfg.failure_detection_bursts * cfg.ssb_period_s
+                + cfg.recovery_s)
+
+    def mean_outage_rate(self) -> float:
+        """Long-run fraction of time the link is in beam recovery."""
+        outage = self.failure_outage_s()
+        cycle = 1.0 / self.config.blockage_rate_hz + outage \
+            if self.config.blockage_rate_hz > 0 else float("inf")
+        return outage / cycle if cycle != float("inf") else 0.0
+
+    def sample_session_outages(self, duration_s: float,
+                               rng: np.random.Generator) -> np.ndarray:
+        """Outage start times within a session (Poisson blockages)."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        rate = self.config.blockage_rate_hz
+        if rate == 0:
+            return np.empty(0)
+        n = rng.poisson(rate * duration_s)
+        return np.sort(rng.uniform(0.0, duration_s, n))
+
+    def latency_with_blockage(self, base_latency_s: float,
+                              rng: np.random.Generator,
+                              size: int = 1) -> np.ndarray:
+        """Per-packet latency including the chance of hitting an outage.
+
+        A packet sent during an outage waits for recovery completion
+        (uniform residual of the outage window).
+        """
+        if base_latency_s < 0:
+            raise ValueError("base latency must be non-negative")
+        p_outage = self.mean_outage_rate()
+        hit = rng.random(size) < p_outage
+        residual = rng.uniform(0.0, self.failure_outage_s(), size)
+        return base_latency_s + np.where(hit, residual, 0.0)

@@ -1,0 +1,133 @@
+"""Connected-mode DRX: the sleep/latency trade-off inside a connection.
+
+C-DRX lets a connected UE sleep between scheduled on-durations: downlink
+data arriving during the sleep phase waits for the next on-duration.
+This is the *device-side* half of the energy story
+(:mod:`repro.ran.energy` models the network side), and it matters for
+the paper's applications: an AR headset cannot afford long DRX cycles,
+while a massive-IoT sensor lives on them.
+
+Model (3GPP long-DRX, no short-cycle refinement):
+
+* a cycle of length ``cycle_s`` starts with ``on_duration_s`` of
+  monitoring;
+* packets arriving during the on-duration see no added delay;
+* packets arriving in the sleep phase wait for the next cycle start;
+* the inactivity timer keeps the UE awake after activity, so bursts
+  after a wake-up are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DrxConfig", "DrxModel"]
+
+
+@dataclass(frozen=True)
+class DrxConfig:
+    """One C-DRX configuration."""
+
+    cycle_s: float
+    on_duration_s: float
+    inactivity_timer_s: float = 0.0
+    #: UE modem draw while monitoring vs sleeping, watts
+    active_power_w: float = 1.2
+    sleep_power_w: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.cycle_s <= 0:
+            raise ValueError("cycle must be positive")
+        if not 0.0 < self.on_duration_s <= self.cycle_s:
+            raise ValueError("on-duration must be in (0, cycle]")
+        if self.inactivity_timer_s < 0:
+            raise ValueError("inactivity timer must be non-negative")
+        if self.active_power_w <= 0 or self.sleep_power_w < 0:
+            raise ValueError("power draws must be positive/non-negative")
+        if self.sleep_power_w >= self.active_power_w:
+            raise ValueError("sleep draw must be below active draw")
+
+    @classmethod
+    def latency_first(cls) -> "DrxConfig":
+        """AR-grade: 10 ms cycle, mostly awake."""
+        return cls(cycle_s=10e-3, on_duration_s=8e-3,
+                   inactivity_timer_s=100e-3)
+
+    @classmethod
+    def balanced(cls) -> "DrxConfig":
+        """Smartphone default: 160 ms cycle, 10 ms on."""
+        return cls(cycle_s=160e-3, on_duration_s=10e-3,
+                   inactivity_timer_s=100e-3)
+
+    @classmethod
+    def battery_first(cls) -> "DrxConfig":
+        """Massive-IoT: 2.56 s cycle, 10 ms on."""
+        return cls(cycle_s=2.56, on_duration_s=10e-3,
+                   inactivity_timer_s=20e-3)
+
+
+class DrxModel:
+    """Latency and energy consequences of a DRX configuration."""
+
+    def __init__(self, config: DrxConfig):
+        self.config = config
+
+    # -- latency -----------------------------------------------------------
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time the UE monitors the channel (idle traffic)."""
+        return self.config.on_duration_s / self.config.cycle_s
+
+    def mean_added_delay_s(self) -> float:
+        """Expected extra downlink delay for a random (idle) arrival.
+
+        An arrival in the on-duration waits 0; an arrival at offset
+        ``t`` into the sleep phase waits ``cycle - t``... averaging over
+        a uniform arrival: ``(1 - duty)^2 * cycle / 2``.
+        """
+        cfg = self.config
+        sleep = cfg.cycle_s - cfg.on_duration_s
+        return (sleep / cfg.cycle_s) * (sleep / 2.0)
+
+    def worst_added_delay_s(self) -> float:
+        """A packet arriving right after the on-duration ends."""
+        return self.config.cycle_s - self.config.on_duration_s
+
+    def sample_added_delay_s(self, rng: np.random.Generator,
+                             size: int | None = None):
+        """Sampled added delay for uniformly random arrivals."""
+        cfg = self.config
+        n = 1 if size is None else size
+        offsets = rng.uniform(0.0, cfg.cycle_s, n)
+        delays = np.where(offsets < cfg.on_duration_s, 0.0,
+                          cfg.cycle_s - offsets)
+        return float(delays[0]) if size is None else delays
+
+    # -- energy --------------------------------------------------------------
+
+    def mean_power_w(self) -> float:
+        """Average modem draw with idle traffic (pure cycling)."""
+        cfg = self.config
+        duty = self.duty_cycle
+        return (cfg.active_power_w * duty
+                + cfg.sleep_power_w * (1.0 - duty))
+
+    def battery_life_hours(self, battery_wh: float) -> float:
+        """Idle battery life on a given battery capacity."""
+        if battery_wh <= 0:
+            raise ValueError("battery capacity must be positive")
+        return battery_wh / self.mean_power_w()
+
+    # -- the trade-off ---------------------------------------------------
+
+    def meets_budget(self, rtt_budget_s: float,
+                     network_rtt_s: float) -> bool:
+        """Can this DRX config serve an application whose round trip,
+        including the *worst-case* DRX wake-up, must stay within
+        budget?"""
+        if rtt_budget_s <= 0 or network_rtt_s < 0:
+            raise ValueError("budgets must be positive")
+        return network_rtt_s + self.worst_added_delay_s() <= rtt_budget_s

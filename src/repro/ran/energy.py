@@ -1,0 +1,134 @@
+"""Energy model for radio sites (the paper's future-work direction
+"energy-efficient network management").
+
+Uses the EARTH-style affine power model that underpins most RAN energy
+literature: a site draws a fixed baseline when active plus a
+load-proportional dynamic term, and can enter a deep-sleep state during
+idle periods.  6G adds two levers the paper's outlook anticipates:
+micro-sleep (fast on/off within the frame structure) and a leaner
+baseline from integrated massive-MIMO front-ends.
+
+The interesting trade-off is quantified by
+:meth:`EnergyModel.daily_energy_kwh` over a diurnal load profile and by
+the latency cost of sleep (a sleeping site adds wake-up delay to the
+first packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .spectrum import Generation
+
+__all__ = ["SitePowerModel", "EnergyModel", "DIURNAL_URBAN_PROFILE"]
+
+
+@dataclass(frozen=True)
+class SitePowerModel:
+    """Affine site power: ``P = P0 + delta * load`` when active."""
+
+    generation: Generation
+    #: baseline draw when active but unloaded, watts
+    baseline_w: float
+    #: additional draw at full load, watts
+    dynamic_w: float
+    #: deep-sleep draw, watts
+    sleep_w: float
+    #: wake-up latency from deep sleep, seconds
+    wakeup_s: float
+    #: minimum load below which the site may micro-sleep between slots
+    microsleep_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.baseline_w, self.dynamic_w, self.sleep_w,
+               self.wakeup_s) < 0:
+            raise ValueError("power-model magnitudes must be non-negative")
+        if self.sleep_w > self.baseline_w:
+            raise ValueError("sleep draw cannot exceed the active baseline")
+        if not 0.0 <= self.microsleep_threshold <= 1.0:
+            raise ValueError("micro-sleep threshold must be in [0, 1]")
+
+    @classmethod
+    def macro_5g(cls) -> "SitePowerModel":
+        """A 5G massive-MIMO macro site (EARTH-calibrated magnitudes)."""
+        return cls(Generation.FIVE_G, baseline_w=800.0, dynamic_w=600.0,
+                   sleep_w=150.0, wakeup_s=2.0,
+                   microsleep_threshold=0.0)
+
+    @classmethod
+    def macro_6g(cls) -> "SitePowerModel":
+        """Projected 6G site: leaner baseline, aggressive micro-sleep."""
+        return cls(Generation.SIX_G, baseline_w=450.0, dynamic_w=550.0,
+                   sleep_w=40.0, wakeup_s=10e-3,
+                   microsleep_threshold=0.1)
+
+    def power_w(self, load: float, asleep: bool = False) -> float:
+        """Instantaneous draw at ``load`` (deep sleep overrides load)."""
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load!r}")
+        if asleep:
+            return self.sleep_w
+        if load < self.microsleep_threshold:
+            # Micro-sleep: dynamic part off, baseline scaled by the duty
+            # cycle the residual load requires.
+            duty = load / self.microsleep_threshold \
+                if self.microsleep_threshold > 0 else 0.0
+            return self.sleep_w + (self.baseline_w - self.sleep_w) * duty \
+                + self.dynamic_w * load
+        return self.baseline_w + self.dynamic_w * load
+
+
+#: Hourly urban load profile (fraction of peak), a standard diurnal
+#: double hump: commute peaks, deep night trough.
+DIURNAL_URBAN_PROFILE: tuple[float, ...] = (
+    0.10, 0.06, 0.05, 0.04, 0.05, 0.10,   # 00-05
+    0.25, 0.55, 0.75, 0.70, 0.65, 0.70,   # 06-11
+    0.75, 0.70, 0.65, 0.70, 0.80, 0.90,   # 12-17
+    0.85, 0.75, 0.60, 0.45, 0.30, 0.18,   # 18-23
+)
+
+
+class EnergyModel:
+    """Fleet-level energy accounting over load profiles."""
+
+    def __init__(self, site: SitePowerModel, n_sites: int = 1, *,
+                 sleep_threshold: float = 0.05):
+        if n_sites < 1:
+            raise ValueError("need at least one site")
+        if not 0.0 <= sleep_threshold < 1.0:
+            raise ValueError("sleep threshold must be in [0, 1)")
+        self.site = site
+        self.n_sites = n_sites
+        self.sleep_threshold = sleep_threshold
+
+    def daily_energy_kwh(self, profile: Sequence[float] =
+                         DIURNAL_URBAN_PROFILE, *,
+                         allow_sleep: bool = True) -> float:
+        """Fleet energy over one day of the hourly ``profile``."""
+        hours = np.asarray(profile, dtype=np.float64)
+        if hours.ndim != 1 or hours.size == 0:
+            raise ValueError("profile must be a non-empty 1-D sequence")
+        if hours.min() < 0 or hours.max() > 1:
+            raise ValueError("profile values must be in [0, 1]")
+        total_w_hours = 0.0
+        for load in hours:
+            asleep = allow_sleep and load < self.sleep_threshold
+            total_w_hours += self.site.power_w(float(load), asleep=asleep)
+        return total_w_hours * self.n_sites / 1e3
+
+    def sleep_saving_fraction(self, profile: Sequence[float] =
+                              DIURNAL_URBAN_PROFILE) -> float:
+        """Fraction of daily energy saved by the sleep policy."""
+        awake = self.daily_energy_kwh(profile, allow_sleep=False)
+        asleep = self.daily_energy_kwh(profile, allow_sleep=True)
+        return 1.0 - asleep / awake
+
+    def first_packet_penalty_s(self, load: float) -> float:
+        """Latency cost of the sleep policy for the first packet that
+        arrives while the site sleeps (zero if it would be awake)."""
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        return self.site.wakeup_s if load < self.sleep_threshold else 0.0

@@ -1,0 +1,114 @@
+"""gNodeB sites and the radio network layer.
+
+A :class:`GNodeB` is one macro site: a location, a radio configuration,
+and a load level (fraction of scheduler capacity in use).  The
+:class:`RadioNetwork` owns all sites on one carrier and answers the
+question the drive test asks at every sample: *which site serves this
+position, and at what SINR?* — by maximum received power, which is how
+idle-mode cell selection works.
+
+The CU/DU split of Sec. V-C is represented by ``cu_name``: several
+radio heads (sites) can share a centralised baseband unit; the O-RAN
+control plane in :mod:`repro.ran.oran` attaches at that level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..geo.coords import GeoPoint
+from .channel import ChannelModel
+from .phy import AirInterface
+from .spectrum import RadioConfig
+
+__all__ = ["GNodeB", "RadioNetwork"]
+
+
+@dataclass
+class GNodeB:
+    """One macro site."""
+
+    name: str
+    location: GeoPoint
+    config: RadioConfig
+    #: scheduler utilisation in [0, 1); set by the load model / scenario
+    load: float = 0.0
+    #: centralised unit this radio head homes to (ORAN CU/DU split)
+    cu_name: str = ""
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("gNB name must be non-empty")
+        if not 0.0 <= self.load < 1.0:
+            raise ValueError(f"gNB load must be in [0, 1), got {self.load}")
+        if not self.cu_name:
+            self.cu_name = f"cu-{self.name}"
+
+
+class RadioNetwork:
+    """All gNBs of one operator on one carrier."""
+
+    def __init__(self, channel: ChannelModel,
+                 gnbs: Optional[Iterable[GNodeB]] = None):
+        self.channel = channel
+        self._gnbs: dict[str, GNodeB] = {}
+        for gnb in gnbs or ():
+            self.add(gnb)
+
+    def add(self, gnb: GNodeB) -> GNodeB:
+        """Register a site; duplicate names are rejected."""
+        if gnb.name in self._gnbs:
+            raise ValueError(f"duplicate gNB name {gnb.name!r}")
+        self._gnbs[gnb.name] = gnb
+        return gnb
+
+    def gnb(self, name: str) -> GNodeB:
+        """Look up one site by name."""
+        try:
+            return self._gnbs[name]
+        except KeyError:
+            raise KeyError(f"unknown gNB {name!r}") from None
+
+    def gnbs(self) -> list[GNodeB]:
+        """All registered sites."""
+        return list(self._gnbs.values())
+
+    @property
+    def count(self) -> int:
+        return len(self._gnbs)
+
+    # -- serving-cell selection ----------------------------------------------
+
+    def serving(self, position: GeoPoint,
+                load_aware: bool = True) -> tuple[GNodeB, float]:
+        """Best server at ``position``: ``(gnb, sinr_db)``.
+
+        Selection is by maximum SINR (equivalently RSRP here, since noise
+        and interference margins are common across sites except for
+        load).  ``load_aware=False`` ignores per-site load in the SINR,
+        for pure coverage analyses.
+        """
+        if not self._gnbs:
+            raise RuntimeError("radio network has no gNBs")
+        best: Optional[GNodeB] = None
+        best_sinr = -float("inf")
+        for gnb in self._gnbs.values():
+            load = gnb.load if load_aware else 0.0
+            sinr = self.channel.sinr_db(
+                gnb.location.distance_to(position), position, load=load)
+            if sinr > best_sinr:
+                best, best_sinr = gnb, sinr
+        assert best is not None
+        return best, best_sinr
+
+    def air_interface(self, gnb: GNodeB | str) -> AirInterface:
+        """Air-interface sampler for one site's configuration."""
+        if isinstance(gnb, str):
+            gnb = self.gnb(gnb)
+        return AirInterface(gnb.config, self.channel)
+
+    def coverage_sinr(self, positions: Iterable[GeoPoint]) -> list[float]:
+        """Best-server SINR at each position (coverage-map helper)."""
+        return [self.serving(p, load_aware=False)[1] for p in positions]

@@ -1,0 +1,132 @@
+"""RRC connection-state machine: the cold-start tax.
+
+A UE is not always connected: after ``inactivity_s`` without traffic it
+drops to RRC-inactive, and later to RRC-idle.  The first packet of a
+new burst then pays a state-transition cost *before* any air-interface
+latency — the "cold event" an AR controller hits after the player
+stands still, and the reason idle-period spacing shows up in latency
+measurements.
+
+Transitions and their latency-bearing procedures:
+
+* idle -> connected: full random access + RRC setup + (NAS) service
+  request — tens of milliseconds on 5G;
+* inactive -> connected: RRC resume, a single RACH plus one RTT to the
+  anchor gNB — several milliseconds;
+* connected: no cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .access import AccessProcedure
+from .spectrum import RadioConfig
+
+__all__ = ["RrcState", "RrcConfig", "RrcStateMachine"]
+
+
+class RrcState(enum.Enum):
+    """The three RRC connection states."""
+    IDLE = "idle"
+    INACTIVE = "inactive"
+    CONNECTED = "connected"
+
+
+@dataclass(frozen=True)
+class RrcConfig:
+    """Timers and per-transition costs."""
+
+    #: connected -> inactive after this much silence
+    inactivity_s: float = 10.0
+    #: inactive -> idle after this much further silence
+    release_s: float = 60.0
+    #: RRC setup + service request on top of random access (idle path)
+    setup_signalling_s: float = 12e-3
+    #: RRC resume cost on top of random access (inactive path)
+    resume_signalling_s: float = 4e-3
+
+    def __post_init__(self) -> None:
+        if self.inactivity_s <= 0 or self.release_s <= 0:
+            raise ValueError("timers must be positive")
+        if self.setup_signalling_s < 0 or self.resume_signalling_s < 0:
+            raise ValueError("signalling costs must be non-negative")
+
+
+class RrcStateMachine:
+    """Tracks one UE's RRC state over a traffic timeline."""
+
+    def __init__(self, radio: RadioConfig,
+                 config: RrcConfig | None = None):
+        self.radio = radio
+        self.config = config if config is not None else RrcConfig()
+        self.access = AccessProcedure(radio)
+        self._state = RrcState.IDLE
+        self._last_activity: float | None = None
+
+    @property
+    def state(self) -> RrcState:
+        return self._state
+
+    def state_at(self, now: float) -> RrcState:
+        """State the UE would be in at time ``now`` (timer expiry)."""
+        if self._last_activity is None:
+            return RrcState.IDLE
+        silence = now - self._last_activity
+        if silence < 0:
+            raise ValueError("time went backwards")
+        if self._state is RrcState.CONNECTED or \
+                self._state is RrcState.INACTIVE:
+            if silence >= self.config.inactivity_s + self.config.release_s:
+                return RrcState.IDLE
+            if silence >= self.config.inactivity_s:
+                return RrcState.INACTIVE
+            return self._state
+        return RrcState.IDLE
+
+    def wakeup_cost_s(self, now: float,
+                      rng: np.random.Generator) -> float:
+        """Transition latency for a packet arriving at ``now``.
+
+        Advances the machine: after the call the UE is CONNECTED with
+        its activity clock at ``now``.
+        """
+        state = self.state_at(now)
+        if state is RrcState.CONNECTED:
+            cost = 0.0
+        elif state is RrcState.INACTIVE:
+            cost = (self.access.sample_attach(rng)
+                    + self.config.resume_signalling_s)
+        else:
+            cost = (self.access.sample_attach(rng)
+                    + self.config.setup_signalling_s)
+        self._state = RrcState.CONNECTED
+        self._last_activity = now
+        return cost
+
+    def mean_wakeup_cost_s(self, state: RrcState) -> float:
+        """Expected transition cost from a given state."""
+        if state is RrcState.CONNECTED:
+            return 0.0
+        base = self.access.mean_attach()
+        if state is RrcState.INACTIVE:
+            return base + self.config.resume_signalling_s
+        return base + self.config.setup_signalling_s
+
+    def burst_timeline_costs(self, arrival_times: np.ndarray,
+                             rng: np.random.Generator) -> np.ndarray:
+        """Wake-up cost paid by the first packet of each burst.
+
+        ``arrival_times`` must be non-decreasing; returns one cost per
+        arrival (zero while connected).
+        """
+        times = np.asarray(arrival_times, dtype=np.float64)
+        if times.size == 0:
+            raise ValueError("no arrivals supplied")
+        if (np.diff(times) < 0).any():
+            raise ValueError("arrival times must be non-decreasing")
+        return np.array([self.wakeup_cost_s(float(t), rng)
+                         for t in times])

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel (simpy-like, dependency-free).
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` and the event/process machinery,
+* :mod:`~repro.sim.resources` shared-resource primitives,
+* :class:`~repro.sim.rng.RngRegistry` deterministic random streams,
+* :mod:`~repro.sim.monitor` measurement collectors.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .monitor import SeriesMonitor, SummaryStats, TimeWeightedMonitor
+from .resources import Container, PriorityResource, Request, Resource, Store
+from .rng import RngRegistry, stable_seed
+
+__all__ = [
+    "Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf",
+    "Interrupt", "SimulationError",
+    "Resource", "PriorityResource", "Request", "Store", "Container",
+    "RngRegistry", "stable_seed",
+    "SeriesMonitor", "TimeWeightedMonitor", "SummaryStats",
+]

@@ -1,0 +1,422 @@
+"""Discrete-event simulation kernel.
+
+A from-scratch, dependency-free replacement for the subset of ``simpy``
+this project needs.  The design is the classic event-heap + generator
+coroutine pattern:
+
+* :class:`Simulator` owns the clock and a binary heap of scheduled events.
+* :class:`Event` is a one-shot signal with callbacks; :class:`Timeout`
+  is an event scheduled at ``now + delay``.
+* :class:`Process` wraps a Python generator.  The generator *yields*
+  events; when a yielded event fires, the process resumes with the event's
+  value (or the event's exception is thrown into it).
+
+Determinism: ties in the heap are broken by insertion order (a
+monotonically increasing sequence number), so two runs of the same model
+with the same seeds produce identical event orderings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, bad yields, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a handover event preempting an in-flight request).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Lifecycle: *pending* -> (*succeed* | *fail*) -> callbacks run exactly
+    once, in registration order.  Late subscribers to an already-processed
+    event are invoked immediately at the current simulation time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "name")
+
+    #: Sentinel for "not yet triggered".
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._processed = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event payload (or exception, if it failed)."""
+        if self._value is Event._PENDING:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._schedule_now(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on this event will have ``exception`` thrown
+        into it at its yield point.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = exception
+        self._ok = False
+        self.sim._schedule_now(self)
+        return self
+
+    # -- internal -----------------------------------------------------------
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; fires immediately if processed."""
+        if self._processed:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires when it terminates.
+
+    The wrapped generator yields :class:`Event` instances.  The process's
+    own event payload is the generator's return value (``StopIteration``
+    value).  If the generator raises, the process *fails* with that
+    exception, propagating to any process waiting on it.
+    """
+
+    __slots__ = ("generator", "_target", "_interrupts")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(
+            generator, "__name__", "process"))
+        self.generator = generator
+        self._target: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        # Bootstrap: resume on the next scheduling round.
+        init = Event(sim, name=f"init({self.name})")
+        init.subscribe(self._resume)
+        init._value = None
+        init._ok = True
+        sim._schedule_now(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting detaches it from its wait target (the target event
+        may still fire later; the process just no longer listens).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self!r}")
+        self._interrupts.append(Interrupt(cause))
+        wake = Event(self.sim, name=f"interrupt({self.name})")
+        wake.subscribe(self._resume)
+        wake._value = None
+        wake._ok = True
+        self.sim._schedule_now(wake)
+
+    # -- coroutine driving ----------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:          # already terminated (e.g. interrupted)
+            return
+        # An event we stopped listening to (due to interrupt) may still
+        # call back; ignore stale wakeups.
+        if self._target is not None and trigger is not self._target \
+                and not self._interrupts:
+            return
+        self._target = None
+        while True:
+            try:
+                if self._interrupts:
+                    exc = self._interrupts.pop(0)
+                    target = self.generator.throw(exc)
+                elif not trigger._ok:
+                    target = self.generator.throw(trigger.value)
+                else:
+                    target = self.generator.send(
+                        None if trigger is None else trigger.value)
+            except StopIteration as stop:
+                self._value = stop.value
+                self._ok = True
+                self.sim._schedule_now(self)
+                return
+            except Interrupt as exc:
+                # Generator did not catch the interrupt: treat as failure.
+                self._value = exc
+                self._ok = False
+                self.sim._schedule_now(self)
+                return
+            except BaseException as exc:
+                self._value = exc
+                self._ok = False
+                self.sim._schedule_now(self)
+                return
+            if not isinstance(target, Event):
+                err = SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event instances")
+                self.generator.close()
+                self._value = err
+                self._ok = False
+                self.sim._schedule_now(self)
+                return
+            if target.sim is not self.sim:
+                raise SimulationError(
+                    "process yielded an event from a different Simulator")
+            if target._processed:
+                # Already fired: loop immediately with its value.
+                trigger = target
+                continue
+            self._target = target
+            target.subscribe(self._resume)
+            return
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError(
+                    "condition mixes events from different simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+        else:
+            for ev in self.events:
+                ev.subscribe(self._check)
+
+    def _check(self, ev: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* constituent events have fired.
+
+    Payload: ``{event: value}`` for every constituent.  Fails fast if any
+    constituent fails.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="all_of")
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self.events})
+
+
+class AnyOf(_Condition):
+    """Fires when the *first* constituent event fires (value or failure)."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="any_of")
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev.value)
+        else:
+            self.succeed({ev: ev.value})
+
+
+class Simulator:
+    """Event loop: a clock plus a time-ordered heap of pending events."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now: float = float(start_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0          # insertion counter for deterministic ties
+        self._event_count = 0  # total events processed (introspection)
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, event))
+
+    def _schedule_now(self, event: Event) -> None:
+        self._schedule_at(self.now, event)
+
+    # -- public factory helpers ------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        """Start a coroutine process; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when every given event has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when the first given event fires."""
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events processed since construction."""
+        return self._event_count
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        self._event_count += 1
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule empties or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if no event fires there, mirroring simpy semantics.
+        """
+        if until is not None:
+            if until < self.now:
+                raise SimulationError(
+                    f"run(until={until}) is in the past (now={self.now})")
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self.now = until
+        else:
+            while self._heap:
+                self.step()
+
+    def run_process(self, generator: Generator[Event, Any, Any],
+                    name: str = "") -> Any:
+        """Convenience: start ``generator``, run to completion, return its value.
+
+        Re-raises the process's exception if it failed.
+        """
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} never finished (deadlock?)")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,193 @@
+"""Direct unit tests for the drive-test campaign machinery."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.cn import SiteTier, UserPlaneFunction
+from repro.geo import CellId, GeoPoint, Grid
+from repro.geo.mobility import DriveTestRoute
+from repro.net import (
+    ASGraph,
+    AutonomousSystem,
+    Node,
+    NodeKind,
+    RouteComputer,
+    Topology,
+)
+from repro.probes import CampaignConfig, DriveTestCampaign
+from repro.probes.campaign import Gateway, MobilePeer
+from repro.ran import ChannelModel, GNodeB, RadioConfig, RadioNetwork
+from repro.sim import RngRegistry
+
+CITY = GeoPoint(46.62, 14.30)
+FAR_CITY = GeoPoint(48.21, 16.37)
+
+
+@pytest.fixture
+def world():
+    """Minimal two-gateway world for campaign unit tests."""
+    grid = Grid(GeoPoint(46.653, 14.255), cols=3, rows=3)
+    config = RadioConfig.nr_5g()
+    channel = ChannelModel(config.carrier_frequency_hz,
+                           antenna_gain_db=28.0, seed=1)
+    radio = RadioNetwork(channel, [
+        GNodeB("gnb-1", grid.cell_center(CellId.from_label("B2")),
+               config, load=0.5)])
+    topo = Topology()
+    asg = ASGraph()
+    asg.add(AutonomousSystem(1, "mobile"))
+    asg.add(AutonomousSystem(2, "eyeball"))
+    asg.set_peers(1, 2)
+    gw_a = topo.add_node(Node("gw-a", NodeKind.GATEWAY, CITY, asn=1))
+    gw_b = topo.add_node(Node("gw-b", NodeKind.GATEWAY, FAR_CITY, asn=1))
+    eye = topo.add_node(Node("eye", NodeKind.ROUTER, CITY, asn=2))
+    probe = topo.add_node(Node("probe", NodeKind.PROBE, CITY, asn=2))
+    topo.connect(gw_a, gw_b)
+    topo.connect(gw_a, eye)
+    topo.connect(eye, probe)
+    routes = RouteComputer(topo, asg)
+
+    def upf(name, load=0.3):
+        return UserPlaneFunction(name=name, location=CITY,
+                                 tier=SiteTier.EDGE, load=load)
+
+    gateways = {
+        "near": Gateway("near", "gw-a", upf("upf-a")),
+        "far": Gateway("far", "gw-b", upf("upf-b")),
+    }
+    return grid, radio, routes, gateways
+
+
+def make_config(gateways, **overrides):
+    defaults = dict(
+        targets={},
+        gateways=gateways,
+        default_gateway="near",
+        peers={"peer-1": MobilePeer("peer-1", air_load=0.5)},
+        default_targets=("peer-1", "probe"),
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def make_campaign(world, config):
+    grid, radio, routes, _ = world
+    cells = [CellId.from_label("B2")]
+    route = DriveTestRoute(grid, cells, RngRegistry(3).stream("r"),
+                           mean_samples_per_cell=3.0, min_samples=2)
+    return DriveTestCampaign(grid=grid, route=route, radio=radio,
+                             routes=routes, config=config,
+                             rng=RngRegistry(3))
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+def test_config_requires_targets(world):
+    _, _, _, gateways = world
+    with pytest.raises(ValueError, match="needs targets"):
+        make_config(gateways, targets={}, default_targets=())
+
+
+def test_config_rejects_unknown_default_gateway(world):
+    _, _, _, gateways = world
+    with pytest.raises(ValueError, match="not registered"):
+        make_config(gateways, default_gateway="ghost")
+
+
+def test_config_rejects_unknown_cell_gateway(world):
+    _, _, _, gateways = world
+    with pytest.raises(ValueError, match="unknown gateway"):
+        make_config(gateways, gateway_by_cell={
+            CellId.from_label("B2"): "ghost"})
+
+
+def test_config_rejects_bad_handover_prob(world):
+    _, _, _, gateways = world
+    with pytest.raises(ValueError, match="not in"):
+        make_config(gateways, handover_prob={
+            CellId.from_label("B2"): 1.5})
+
+
+def test_campaign_rejects_missing_gateway_node(world):
+    grid, radio, routes, gateways = world
+    bad = dict(gateways, near=Gateway(
+        "near", "nonexistent", gateways["near"].upf))
+    config = make_config(bad)
+    with pytest.raises(KeyError, match="not in topology"):
+        make_campaign((grid, radio, routes, bad), config)
+
+
+def test_peer_validation():
+    with pytest.raises(ValueError):
+        MobilePeer("", air_load=0.5)
+    with pytest.raises(ValueError):
+        MobilePeer("p", air_load=1.0)
+    with pytest.raises(ValueError):
+        Gateway("", "node", None)
+
+
+# ---------------------------------------------------------------------------
+# Measurement paths
+# ---------------------------------------------------------------------------
+
+def test_campaign_runs_and_measures_both_target_kinds(world):
+    config = make_config(world[3])
+    campaign = make_campaign(world, config)
+    dataset = campaign.run()
+    targets = {rec.target for rec in dataset.records()}
+    assert targets == {"peer-1", "probe"}
+    assert (dataset.rtts > 0).all()
+
+
+def test_cross_gateway_peer_pays_inter_gateway_transit(world):
+    """A peer anchored at the *far* gateway adds the inter-gateway
+    round trip to the hairpin."""
+    grid, radio, routes, gateways = world
+    cell = CellId.from_label("B2")
+    position = grid.cell_center(cell)
+
+    same = make_config(gateways, peers={
+        "peer-1": MobilePeer("peer-1", air_load=0.5)})
+    cross = make_config(gateways, peers={
+        "peer-1": MobilePeer("peer-1", air_load=0.5, gateway="far")})
+
+    rtt_same = np.mean([
+        make_campaign(world, same).sample_rtt(position, cell, "peer-1")
+        for _ in range(30)])
+    rtt_cross = np.mean([
+        make_campaign(world, cross).sample_rtt(position, cell, "peer-1")
+        for _ in range(30)])
+    # Vienna-distance transit appears twice (out and back).
+    extra = rtt_cross - rtt_same
+    assert extra > units.ms(2.0)
+
+
+def test_cell_load_clamps(world):
+    config = make_config(world[3], cell_extra_load={
+        CellId.from_label("B2"): 5.0})   # absurd congestion
+    campaign = make_campaign(world, config)
+    assert campaign._cell_load(CellId.from_label("B2"), 0.5) == \
+        pytest.approx(config.max_cell_load)
+    assert campaign._cell_load(CellId.from_label("A1"), 0.5) == 0.5
+    negative = make_config(world[3], cell_extra_load={
+        CellId.from_label("B2"): -5.0})
+    campaign2 = make_campaign(world, negative)
+    assert campaign2._cell_load(CellId.from_label("B2"), 0.5) == 0.0
+
+
+def test_handover_probability_adds_interruptions(world):
+    grid, radio, routes, gateways = world
+    cell = CellId.from_label("B2")
+    position = grid.cell_center(cell)
+    calm = make_config(gateways)
+    stormy = make_config(gateways, handover_prob={cell: 1.0},
+                         handover_interruption_s=0.2)
+    rtt_calm = np.mean([make_campaign(world, calm).sample_rtt(
+        position, cell, "probe") for _ in range(20)])
+    rtt_stormy = np.mean([make_campaign(world, stormy).sample_rtt(
+        position, cell, "probe") for _ in range(20)])
+    # p=1 adds U(0.5, 1)*200 ms every sample.
+    assert rtt_stormy - rtt_calm > 0.09

@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_requirements(capsys):
+    assert main(["requirements"]) == 0
+    out = capsys.readouterr().out
+    assert "remote-surgery" in out
+    assert "FAIL" in out          # 5G fails some rows
+    assert "6G" in out
+
+
+def test_cli_upf(capsys):
+    assert main(["upf"]) == 0
+    out = capsys.readouterr().out
+    assert "edge" in out and "central-cloud" in out
+    assert "9" in out             # ~92% reduction
+
+
+def test_cli_cpf(capsys):
+    assert main(["cpf"]) == 0
+    out = capsys.readouterr().out
+    assert "pdu-session-establishment" in out
+
+
+def test_cli_peering(capsys):
+    assert main(["peering", "--seed", "42"]) == 0
+    out = capsys.readouterr().out
+    assert "->" in out
+    assert "km" in out and "ms" in out
+
+
+def test_cli_evaluate(capsys):
+    assert main(["evaluate", "--seed", "42"]) == 0
+    out = capsys.readouterr().out
+    assert "Urban Mean Round-trip Time Latency" in out
+    assert "zetservers.peering.cz" in out
+    assert "exceeds the 20 ms requirement" in out
+
+
+def test_cli_upgrade(capsys):
+    assert main(["upgrade"]) == 0
+    out = capsys.readouterr().out
+    assert "6G + edge breakout" in out
+    assert "yes" in out
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

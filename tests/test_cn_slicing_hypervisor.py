@@ -1,0 +1,184 @@
+"""Tests for network slicing and hypervisor placement."""
+
+import pytest
+
+from repro import units
+from repro.cn import (
+    HypervisorPlanner,
+    NetworkSlice,
+    PlacementObjective,
+    SliceManager,
+    SliceType,
+)
+from repro.geo import BUCHAREST, GeoPoint, KLAGENFURT, PRAGUE, VIENNA
+
+
+# ---------------------------------------------------------------------------
+# Slicing
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def pool():
+    """A lightly loaded URLLC slice sharing the pool with heavy eMBB —
+    the aggressor/victim configuration where isolation matters."""
+    mgr = SliceManager(capacity_bps=units.gbps(10.0))
+    mgr.admit(NetworkSlice("urllc", SliceType.URLLC, 0.2,
+                           offered_load_bps=units.gbps(0.5)))
+    mgr.admit(NetworkSlice("embb", SliceType.EMBB, 0.8,
+                           offered_load_bps=units.gbps(7.5)))
+    return mgr
+
+
+def test_slice_validation():
+    with pytest.raises(ValueError):
+        NetworkSlice("", SliceType.EMBB, 0.5)
+    with pytest.raises(ValueError):
+        NetworkSlice("x", SliceType.EMBB, 0.0)
+    with pytest.raises(ValueError):
+        NetworkSlice("x", SliceType.EMBB, 1.5)
+    with pytest.raises(ValueError):
+        NetworkSlice("x", SliceType.EMBB, 0.5, offered_load_bps=-1.0)
+
+
+def test_admission_rejects_oversubscription(pool):
+    with pytest.raises(ValueError, match="reserve"):
+        pool.admit(NetworkSlice("mmtc", SliceType.MMTC, 0.3))
+
+
+def test_admission_rejects_overloaded_slice():
+    mgr = SliceManager(capacity_bps=units.gbps(10.0))
+    with pytest.raises(ValueError, match="more load"):
+        mgr.admit(NetworkSlice("greedy", SliceType.EMBB, 0.1,
+                               offered_load_bps=units.gbps(2.0)))
+
+
+def test_duplicate_slice_rejected(pool):
+    with pytest.raises(ValueError):
+        pool.admit(NetworkSlice("urllc", SliceType.URLLC, 0.1))
+
+
+def test_release(pool):
+    pool.release("embb")
+    with pytest.raises(KeyError):
+        pool.slice("embb")
+    with pytest.raises(KeyError):
+        pool.release("embb")
+
+
+def test_sliced_vs_shared_utilisation(pool):
+    # URLLC slice alone: 0.5G over 2G reserved = 0.25
+    assert pool.sliced_utilisation("urllc") == pytest.approx(0.25)
+    # Shared: 8G over 10G = 0.8
+    assert pool.shared_utilisation() == pytest.approx(0.8)
+
+
+def test_isolation_protects_urllc_from_embb_load(pool):
+    """The slicing claim: with isolation the lightly loaded URLLC slice
+    sees its own quiet queue; without, it queues behind eMBB bulk at
+    80 % aggregate utilisation."""
+    service = 10e-6
+    isolated = pool.queueing_delay_s("urllc", service, isolated=True)
+    shared = pool.queueing_delay_s("urllc", service, isolated=False)
+    assert isolated < shared
+
+
+def test_isolation_costs_capacity_when_pool_is_quiet():
+    """The counterpoint the model must also capture: with a quiet
+    aggregate, a small dedicated share is *slower* than the shared pool
+    (the slice only owns a fraction of the servers)."""
+    mgr = SliceManager(capacity_bps=units.gbps(10.0))
+    mgr.admit(NetworkSlice("urllc", SliceType.URLLC, 0.2,
+                           offered_load_bps=units.gbps(0.5)))
+    mgr.admit(NetworkSlice("embb", SliceType.EMBB, 0.6,
+                           offered_load_bps=units.gbps(1.0)))
+    service = 10e-6
+    assert mgr.queueing_delay_s("urllc", service, isolated=True) > \
+        mgr.queueing_delay_s("urllc", service, isolated=False)
+
+
+def test_shared_overload_detected():
+    mgr = SliceManager(capacity_bps=units.gbps(1.0))
+    mgr.admit(NetworkSlice("a", SliceType.EMBB, 0.5,
+                           offered_load_bps=units.mbps(499.0)))
+    mgr.admit(NetworkSlice("b", SliceType.EMBB, 0.5,
+                           offered_load_bps=units.mbps(499.0)))
+    # each slice is admissible in isolation; aggregate nearly saturates
+    assert mgr.shared_utilisation() == pytest.approx(0.998)
+
+
+def test_manager_validation():
+    with pytest.raises(ValueError):
+        SliceManager(0.0)
+    mgr = SliceManager(1e9)
+    mgr.admit(NetworkSlice("a", SliceType.EMBB, 0.5, offered_load_bps=1e8))
+    with pytest.raises(ValueError):
+        mgr.queueing_delay_s("a", 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Hypervisor placement
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def planner():
+    candidates = [KLAGENFURT, VIENNA, PRAGUE, BUCHAREST]
+    tenants = [
+        KLAGENFURT,
+        GeoPoint(46.7, 14.4),      # near Klagenfurt
+        VIENNA,
+        GeoPoint(48.3, 16.2),      # near Vienna
+        PRAGUE,
+    ]
+    return HypervisorPlanner(candidates, tenants)
+
+
+def test_latency_placement_covers_clusters(planner):
+    result = planner.place(2, PlacementObjective.LATENCY)
+    assert len(result.hypervisor_sites) == 2
+    # With two hypervisors over the Klagenfurt/Vienna/Prague tenants the
+    # worst tenant must end up within intra-region distance (< 2 ms);
+    # a single hypervisor cannot achieve that.
+    assert result.worst_latency_s < units.ms(2.0)
+    single = planner.place(1, PlacementObjective.LATENCY)
+    assert single.worst_latency_s > result.worst_latency_s
+
+
+def test_more_hypervisors_never_hurt_latency(planner):
+    worst = [planner.place(k, PlacementObjective.LATENCY).worst_latency_s
+             for k in (1, 2, 3, 4)]
+    assert all(a >= b - 1e-12 for a, b in zip(worst, worst[1:]))
+
+
+def test_resilience_placement_bounds_backup_latency(planner):
+    lat = planner.place(3, PlacementObjective.LATENCY)
+    res = planner.place(3, PlacementObjective.RESILIENCE)
+    assert res.worst_backup_latency_s <= lat.worst_backup_latency_s + 1e-12
+    # single hypervisor: no backup exists
+    assert planner.place(
+        1, PlacementObjective.LATENCY).worst_backup_latency_s == float("inf")
+
+
+def test_load_balance_spreads_tenants(planner):
+    lat = planner.place(2, PlacementObjective.LATENCY)
+    bal = planner.place(2, PlacementObjective.LOAD_BALANCE)
+    assert bal.max_tenants_per_site <= lat.max_tenants_per_site
+    # 5 tenants over 2 sites: best possible is 3
+    assert bal.max_tenants_per_site == 3
+
+
+def test_assignment_consistency(planner):
+    result = planner.place(2, PlacementObjective.LATENCY)
+    assert len(result.assignment) == 5
+    for site in result.assignment:
+        assert site in result.hypervisor_sites
+
+
+def test_planner_validation(planner):
+    with pytest.raises(ValueError):
+        planner.place(0, PlacementObjective.LATENCY)
+    with pytest.raises(ValueError):
+        planner.place(9, PlacementObjective.LATENCY)
+    with pytest.raises(ValueError):
+        HypervisorPlanner([], [KLAGENFURT])
+    with pytest.raises(ValueError):
+        HypervisorPlanner([KLAGENFURT], [])

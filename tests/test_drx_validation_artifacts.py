@@ -1,0 +1,161 @@
+"""Tests for DRX, scenario validation and artifact export."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import (
+    InfrastructureEvaluation,
+    KlagenfurtScenario,
+    validate_scenario,
+)
+from repro.geo.grid import CellId
+from repro.ran import DrxConfig, DrxModel
+from repro.sim import RngRegistry
+
+
+# ---------------------------------------------------------------------------
+# DRX
+# ---------------------------------------------------------------------------
+
+def test_drx_presets_span_the_tradeoff():
+    latency = DrxModel(DrxConfig.latency_first())
+    balanced = DrxModel(DrxConfig.balanced())
+    battery = DrxModel(DrxConfig.battery_first())
+    # Latency ordering...
+    assert latency.mean_added_delay_s() < balanced.mean_added_delay_s() \
+        < battery.mean_added_delay_s()
+    # ...is the reverse of the power ordering.
+    assert latency.mean_power_w() > balanced.mean_power_w() \
+        > battery.mean_power_w()
+
+
+def test_drx_mean_added_delay_formula():
+    # cycle 100 ms, on 20 ms: sleep 80 ms; mean = 0.8 * 40 ms = 32 ms
+    model = DrxModel(DrxConfig(cycle_s=0.1, on_duration_s=0.02))
+    assert model.mean_added_delay_s() == pytest.approx(0.032)
+    assert model.worst_added_delay_s() == pytest.approx(0.08)
+    assert model.duty_cycle == pytest.approx(0.2)
+
+
+def test_drx_sampled_matches_analytic():
+    model = DrxModel(DrxConfig.balanced())
+    rng = RngRegistry(3).stream("drx")
+    samples = model.sample_added_delay_s(rng, size=100_000)
+    assert float(np.mean(samples)) == pytest.approx(
+        model.mean_added_delay_s(), rel=0.03)
+    assert float(np.max(samples)) <= model.worst_added_delay_s()
+
+
+def test_drx_budget_check():
+    """AR (20 ms budget) tolerates the latency-first profile only."""
+    network_rtt = units.ms(5.0)
+    assert DrxModel(DrxConfig.latency_first()).meets_budget(
+        units.ms(20.0), network_rtt)
+    assert not DrxModel(DrxConfig.balanced()).meets_budget(
+        units.ms(20.0), network_rtt)
+    assert not DrxModel(DrxConfig.battery_first()).meets_budget(
+        units.ms(20.0), network_rtt)
+
+
+def test_drx_battery_life():
+    battery = DrxModel(DrxConfig.battery_first())
+    always_on = DrxModel(DrxConfig(cycle_s=1.0, on_duration_s=1.0))
+    wh = 15.0   # a wearable battery
+    assert battery.battery_life_hours(wh) > \
+        20 * always_on.battery_life_hours(wh)
+    with pytest.raises(ValueError):
+        battery.battery_life_hours(0.0)
+
+
+def test_drx_validation():
+    with pytest.raises(ValueError):
+        DrxConfig(cycle_s=0.0, on_duration_s=0.0)
+    with pytest.raises(ValueError):
+        DrxConfig(cycle_s=0.1, on_duration_s=0.2)    # on > cycle
+    with pytest.raises(ValueError):
+        DrxConfig(cycle_s=0.1, on_duration_s=0.05, sleep_power_w=2.0)
+    model = DrxModel(DrxConfig.balanced())
+    with pytest.raises(ValueError):
+        model.meets_budget(0.0, 1e-3)
+
+
+# ---------------------------------------------------------------------------
+# Scenario validation
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def scenario():
+    return KlagenfurtScenario(seed=42)
+
+
+def kwargs_of(scenario):
+    return dict(grid=scenario.grid,
+                traversed_cells=scenario.traversed_cells,
+                radio=scenario.radio, routes=scenario.routes,
+                campaign_config=scenario.campaign_config)
+
+
+def test_default_scenario_validates_clean(scenario):
+    report = validate_scenario(**kwargs_of(scenario))
+    assert report.ok
+    assert report.issues == []
+    assert "no issues" in report.render()
+
+
+def test_validation_detects_unreachable_target(scenario):
+    scenario.topology.remove_link("ascus-access", "probe-uni")
+    scenario.routes.invalidate()
+    report = validate_scenario(**kwargs_of(scenario))
+    assert not report.ok
+    assert any("unreachable" in str(i) for i in report.errors)
+
+
+def test_validation_detects_missing_gateway_node(scenario):
+    from repro.probes.campaign import Gateway
+    bad = Gateway("ghost", "no-such-node",
+                  scenario.campaign_config.gateways["vienna"].upf)
+    scenario.campaign_config.gateways = dict(
+        scenario.campaign_config.gateways, ghost=bad)
+    report = validate_scenario(**kwargs_of(scenario))
+    assert not report.ok
+    assert any("missing node" in str(i) for i in report.errors)
+
+
+def test_validation_warns_on_weak_coverage(scenario):
+    # Demand an absurd SINR floor: every cell (even the six whose
+    # centre hosts a gNB) becomes a warning.
+    report = validate_scenario(**kwargs_of(scenario), min_sinr_db=100.0)
+    assert report.ok                      # warnings, not errors
+    assert len(report.warnings) == len(scenario.traversed_cells)
+
+
+def test_validation_detects_out_of_grid_cell(scenario):
+    cells = list(scenario.traversed_cells) + [CellId(20, 20)]
+    report = validate_scenario(
+        grid=scenario.grid, traversed_cells=cells,
+        radio=scenario.radio, routes=scenario.routes,
+        campaign_config=scenario.campaign_config)
+    assert any("outside the grid" in str(i) for i in report.errors)
+
+
+# ---------------------------------------------------------------------------
+# Artifact export
+# ---------------------------------------------------------------------------
+
+def test_save_artifacts_round_trip(tmp_path):
+    result = InfrastructureEvaluation(
+        seed=42, mean_positions_per_cell=2.0).run()
+    paths = result.save_artifacts(tmp_path / "artifacts")
+    expected = {"figure2.txt", "figure3.txt", "table1.txt",
+                "gap_summary.txt", "campaign.csv", "wired_baseline.csv"}
+    assert set(paths) == expected
+    fig2 = (tmp_path / "artifacts" / "figure2.txt").read_text()
+    assert "Urban Mean Round-trip Time Latency" in fig2
+    gap = (tmp_path / "artifacts" / "gap_summary.txt").read_text()
+    assert "fig4 detour" in gap
+    # the CSV reloads into an identical-size dataset
+    from repro.probes import MeasurementDataset
+    loaded = MeasurementDataset.load_csv(tmp_path / "artifacts"
+                                         / "campaign.csv")
+    assert len(loaded) == len(result.dataset)

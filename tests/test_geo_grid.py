@@ -1,0 +1,180 @@
+"""Tests for grid segmentation (Fig. 1 methodology)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import CellId, GeoPoint, Grid, KLAGENFURT
+
+
+@pytest.fixture
+def grid():
+    """The paper's 6x7 Klagenfurt grid with 1 km cells."""
+    return Grid(origin=GeoPoint(46.653, 14.255), cell_size_m=1000.0,
+                cols=6, rows=7)
+
+
+# ---------------------------------------------------------------------------
+# CellId
+# ---------------------------------------------------------------------------
+
+def test_cellid_label_round_trip():
+    for label in ("A1", "C3", "F7", "B3", "E5"):
+        assert CellId.from_label(label).label == label
+
+
+def test_cellid_from_label_case_insensitive():
+    assert CellId.from_label("c3") == CellId.from_label("C3")
+
+
+def test_cellid_label_mapping():
+    assert CellId(0, 0).label == "A1"
+    assert CellId(2, 0).label == "C1"
+    assert CellId(5, 6).label == "F7"
+
+
+def test_cellid_malformed_labels_rejected():
+    for bad in ("", "7", "AA", "C0", "C-1", "1C"):
+        with pytest.raises(ValueError):
+            CellId.from_label(bad)
+
+
+def test_cellid_negative_indices_rejected():
+    with pytest.raises(ValueError):
+        CellId(-1, 0)
+    with pytest.raises(ValueError):
+        CellId(0, -1)
+
+
+def test_cellid_ordering_is_column_major():
+    assert CellId(0, 0) < CellId(0, 1) < CellId(1, 0)
+
+
+# ---------------------------------------------------------------------------
+# Grid geometry
+# ---------------------------------------------------------------------------
+
+def test_grid_validations():
+    with pytest.raises(ValueError):
+        Grid(KLAGENFURT, cell_size_m=0.0)
+    with pytest.raises(ValueError):
+        Grid(KLAGENFURT, cols=0)
+    with pytest.raises(ValueError):
+        Grid(KLAGENFURT, cols=27)
+
+
+def test_grid_has_42_cells(grid):
+    assert grid.cell_count == 42
+    assert len(list(grid.cells())) == 42
+
+
+def test_cells_are_unique(grid):
+    cells = list(grid.cells())
+    assert len(set(cells)) == len(cells)
+
+
+def test_cell_centers_are_located_in_their_cell(grid):
+    for cell in grid.cells():
+        assert grid.locate(grid.cell_center(cell)) == cell
+
+
+def test_cell_origin_is_nw_corner(grid):
+    cell = CellId.from_label("C3")
+    origin = grid.cell_origin(cell)
+    centre = grid.cell_center(cell)
+    # centre is south-east of the NW corner
+    assert centre.lat < origin.lat
+    assert centre.lon > origin.lon
+    # ~707 m apart for a 1 km cell (half diagonal)
+    assert origin.distance_to(centre) == pytest.approx(707.1, rel=0.01)
+
+
+def test_adjacent_cell_centres_are_one_km_apart(grid):
+    d_ew = grid.cell_center(CellId.from_label("A1")).distance_to(
+        grid.cell_center(CellId.from_label("B1")))
+    d_ns = grid.cell_center(CellId.from_label("A1")).distance_to(
+        grid.cell_center(CellId.from_label("A2")))
+    assert d_ew == pytest.approx(1000.0, rel=0.01)
+    assert d_ns == pytest.approx(1000.0, rel=0.01)
+
+
+def test_locate_outside_grid_returns_none(grid):
+    far = GeoPoint(48.0, 16.0)
+    assert grid.locate(far) is None
+
+
+def test_out_of_grid_cell_operations_raise(grid):
+    ghost = CellId(10, 10)
+    with pytest.raises(KeyError):
+        grid.cell_center(ghost)
+    with pytest.raises(KeyError):
+        grid.neighbours(ghost)
+
+
+def test_point_in_cell_fraction_bounds(grid):
+    cell = CellId.from_label("B2")
+    with pytest.raises(ValueError):
+        grid.point_in_cell(cell, 1.0, 0.5)
+    with pytest.raises(ValueError):
+        grid.point_in_cell(cell, 0.5, -0.1)
+
+
+@given(st.integers(min_value=0, max_value=5),
+       st.integers(min_value=0, max_value=6),
+       st.floats(min_value=0.0, max_value=0.999),
+       st.floats(min_value=0.0, max_value=0.999))
+def test_point_in_cell_locates_back(col, row, fe, fs):
+    grid = Grid(origin=GeoPoint(46.653, 14.255), cell_size_m=1000.0,
+                cols=6, rows=7)
+    cell = CellId(col, row)
+    pt = grid.point_in_cell(cell, fe, fs)
+    assert grid.locate(pt) == cell
+
+
+def test_neighbours_interior_cell(grid):
+    n = grid.neighbours(CellId.from_label("C3"))
+    labels = {c.label for c in n}
+    assert labels == {"C2", "C4", "B3", "D3"}
+
+
+def test_neighbours_corner_cell(grid):
+    n = grid.neighbours(CellId.from_label("A1"))
+    labels = {c.label for c in n}
+    assert labels == {"A2", "B1"}
+
+
+def test_is_border(grid):
+    assert grid.is_border(CellId.from_label("A1"))
+    assert grid.is_border(CellId.from_label("F7"))
+    assert grid.is_border(CellId.from_label("C1"))
+    assert not grid.is_border(CellId.from_label("C3"))
+    assert not grid.is_border(CellId.from_label("E5"))
+
+
+def test_border_cell_count(grid):
+    # 6x7 grid: perimeter = 2*6 + 2*7 - 4 = 22
+    borders = [c for c in grid.cells() if grid.is_border(c)]
+    assert len(borders) == 22
+
+
+def test_boustrophedon_covers_all_cells_once(grid):
+    order = grid.boustrophedon_order()
+    assert len(order) == 42
+    assert len(set(order)) == 42
+
+
+def test_boustrophedon_is_serpentine(grid):
+    order = grid.boustrophedon_order()
+    assert [c.label for c in order[:6]] == ["A1", "B1", "C1", "D1", "E1", "F1"]
+    assert [c.label for c in order[6:12]] == ["F2", "E2", "D2", "C2", "B2",
+                                              "A2"]
+
+
+def test_boustrophedon_consecutive_cells_adjacent(grid):
+    order = grid.boustrophedon_order()
+    for a, b in zip(order, order[1:]):
+        assert abs(a.col - b.col) + abs(a.row - b.row) == 1
+
+
+def test_contains(grid):
+    assert CellId.from_label("F7") in grid
+    assert CellId(6, 0) not in grid

@@ -1,0 +1,258 @@
+"""Tests for the AS graph and valley-free path selection."""
+
+import pytest
+
+from repro.net import ASGraph, ASKind, AutonomousSystem, BGPRouter, RouteClass
+
+
+def build_graph(*asns):
+    g = ASGraph()
+    for asn in asns:
+        g.add(AutonomousSystem(asn=asn, name=f"as{asn}"))
+    return g
+
+
+# ---------------------------------------------------------------------------
+# ASGraph structure
+# ---------------------------------------------------------------------------
+
+def test_duplicate_asn_rejected():
+    g = build_graph(1)
+    with pytest.raises(ValueError):
+        g.add(AutonomousSystem(asn=1, name="dup"))
+
+
+def test_as_validations():
+    with pytest.raises(ValueError):
+        AutonomousSystem(asn=0, name="x")
+    with pytest.raises(ValueError):
+        AutonomousSystem(asn=1, name="")
+
+
+def test_relationship_bookkeeping():
+    g = build_graph(1, 2, 3)
+    g.set_customer_of(customer=1, provider=2)
+    g.set_peers(2, 3)
+    assert g.providers_of(1) == {2}
+    assert g.customers_of(2) == {1}
+    assert g.peers_of(2) == {3}
+    assert g.relationship(1, 2) == "c2p"
+    assert g.relationship(2, 1) == "p2c"
+    assert g.relationship(2, 3) == "p2p"
+    assert g.relationship(1, 3) is None
+
+
+def test_conflicting_relationships_rejected():
+    g = build_graph(1, 2)
+    g.set_customer_of(1, 2)
+    with pytest.raises(ValueError):
+        g.set_peers(1, 2)
+    with pytest.raises(ValueError):
+        g.set_customer_of(2, 1)   # mutual transit
+
+
+def test_self_relationships_rejected():
+    g = build_graph(1)
+    with pytest.raises(ValueError):
+        g.set_customer_of(1, 1)
+    with pytest.raises(ValueError):
+        g.set_peers(1, 1)
+
+
+def test_unknown_as_rejected():
+    g = build_graph(1)
+    with pytest.raises(KeyError):
+        g.set_customer_of(1, 99)
+    with pytest.raises(KeyError):
+        g.peers_of(99)
+
+
+def test_remove_peering():
+    g = build_graph(1, 2)
+    g.set_peers(1, 2)
+    g.remove_peering(1, 2)
+    assert g.relationship(1, 2) is None
+    with pytest.raises(KeyError):
+        g.remove_peering(1, 2)
+
+
+def test_hierarchy_cycle_detection():
+    g = build_graph(1, 2, 3)
+    g.set_customer_of(1, 2)
+    g.set_customer_of(2, 3)
+    g.set_customer_of(3, 1)   # cycle!
+    with pytest.raises(ValueError, match="cycle"):
+        g.validate_hierarchy()
+
+
+# ---------------------------------------------------------------------------
+# BGP route selection
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def diamond():
+    """Two stub ASes (10, 20) under two transits (1, 2) that peer.
+
+         1 ======= 2        (p2p)
+         |         |
+        10        20        (customers)
+    """
+    g = build_graph(1, 2, 10, 20)
+    g.set_customer_of(10, 1)
+    g.set_customer_of(20, 2)
+    g.set_peers(1, 2)
+    return g
+
+
+def test_route_through_peering(diamond):
+    bgp = BGPRouter(diamond)
+    path = bgp.as_path(10, 20)
+    assert path == (10, 1, 2, 20)
+
+
+def test_route_classes(diamond):
+    bgp = BGPRouter(diamond)
+    # Transit 1 reaches its own customer via a customer route.
+    assert bgp.route(1, 10).route_class == RouteClass.CUSTOMER
+    # Transit 2 reaches 10 via its peer 1.
+    assert bgp.route(2, 10).route_class == RouteClass.PEER
+    # Stub 20 reaches 10 via its provider.
+    assert bgp.route(20, 10).route_class == RouteClass.PROVIDER
+    # Self route.
+    assert bgp.route(10, 10).route_class == RouteClass.SELF
+
+
+def test_no_valley_through_two_peers():
+    """A path peer->peer->peer is invalid; with only peerings at the top,
+    a stub behind one peer cannot transit a middle AS to a third peer."""
+    g = build_graph(1, 2, 3, 10, 30)
+    g.set_peers(1, 2)
+    g.set_peers(2, 3)
+    g.set_customer_of(10, 1)
+    g.set_customer_of(30, 3)
+    bgp = BGPRouter(g)
+    # 10 -> 1 -> 2 -> 3 -> 30 would need two peer edges: forbidden.
+    assert bgp.route(10, 30) is None
+
+
+def test_customer_route_preferred_over_peer():
+    """If a transit can reach a destination via a customer chain or a
+    peer, it must pick the customer route even when longer."""
+    g = build_graph(1, 2, 5, 10)
+    # 1 can reach 10: customer chain 1 <- 5 <- 10 (two hops)
+    g.set_customer_of(5, 1)
+    g.set_customer_of(10, 5)
+    # ... or via peer 2 which has 10 as a direct customer (one hop).
+    g.set_peers(1, 2)
+    g.set_customer_of(10, 2)
+    bgp = BGPRouter(g)
+    route = bgp.route(1, 10)
+    assert route.route_class == RouteClass.CUSTOMER
+    assert route.as_path == (1, 5, 10)
+
+
+def test_shorter_path_wins_within_class():
+    g = build_graph(1, 2, 3, 10)
+    # Two provider chains from 10's provider 1 down to dest 3... build:
+    # 10 buys from 1; 1 peers with 2 and 3; 2 is provider of 3.
+    g.set_customer_of(10, 1)
+    g.set_peers(1, 2)
+    g.set_peers(1, 3)
+    g.set_customer_of(3, 2)
+    bgp = BGPRouter(g)
+    # 10 -> 1 -> 3 (peer, then down): length 2 beats 10 -> 1 -> 2 -> 3.
+    assert bgp.as_path(10, 3) == (10, 1, 3)
+
+
+def test_tie_break_lowest_next_hop():
+    g = build_graph(5, 6, 10, 20)
+    # 20 reachable from 10 via two equal-length provider paths.
+    g.set_customer_of(10, 5)
+    g.set_customer_of(10, 6)
+    g.set_customer_of(20, 5)
+    g.set_customer_of(20, 6)
+    bgp = BGPRouter(g)
+    assert bgp.as_path(10, 20) == (10, 5, 20)
+
+
+def test_unreachable_destination():
+    g = build_graph(1, 2)
+    bgp = BGPRouter(g)
+    assert bgp.route(1, 2) is None
+    with pytest.raises(LookupError):
+        bgp.as_path(1, 2)
+
+
+def test_unknown_endpoints():
+    g = build_graph(1)
+    bgp = BGPRouter(g)
+    with pytest.raises(KeyError):
+        bgp.route(99, 1)
+    with pytest.raises(KeyError):
+        bgp.routes_to(99)
+
+
+def test_invalidate_picks_up_new_peering(diamond):
+    bgp = BGPRouter(diamond)
+    assert bgp.as_path(10, 20) == (10, 1, 2, 20)
+    # Direct peering between the stubs (the paper's local peering fix).
+    diamond.set_peers(10, 20)
+    bgp.invalidate()
+    assert bgp.as_path(10, 20) == (10, 20)
+
+
+def test_routes_are_valley_free(diamond):
+    bgp = BGPRouter(diamond)
+    for src in (1, 2, 10, 20):
+        for dst in (1, 2, 10, 20):
+            route = bgp.route(src, dst)
+            if route is not None:
+                assert bgp.is_valley_free(route.as_path), route
+
+
+def test_is_valley_free_rejects_bad_paths(diamond):
+    bgp = BGPRouter(diamond)
+    # up after down: 1 -> 10 (p2c) then 10 -> 1 (c2p) again
+    assert not bgp.is_valley_free((1, 10, 1))
+    # two peer links in a row is a valley
+    g = build_graph(1, 2, 3)
+    g.set_peers(1, 2)
+    g.set_peers(2, 3)
+    bgp2 = BGPRouter(g)
+    assert not bgp2.is_valley_free((1, 2, 3))
+    # unrelated ASes
+    assert not bgp2.is_valley_free((1, 3))
+    # trivial paths are fine
+    assert bgp2.is_valley_free((1,))
+
+
+def test_large_random_hierarchy_all_routes_valley_free():
+    """Property check on a 60-AS synthetic hierarchy."""
+    import numpy as np
+    rng = np.random.default_rng(42)
+    g = ASGraph()
+    tiers = {0: [1, 2, 3], 1: list(range(10, 25)), 2: list(range(100, 142))}
+    for tier in tiers.values():
+        for asn in tier:
+            g.add(AutonomousSystem(asn=asn, name=f"as{asn}",
+                                   kind=ASKind.TRANSIT))
+    for a in tiers[0]:
+        for b in tiers[0]:
+            if a < b:
+                g.set_peers(a, b)
+    for asn in tiers[1]:
+        for provider in rng.choice(tiers[0], size=2, replace=False):
+            g.set_customer_of(asn, int(provider))
+    for asn in tiers[2]:
+        for provider in rng.choice(tiers[1], size=2, replace=False):
+            g.set_customer_of(asn, int(provider))
+    bgp = BGPRouter(g)
+    stubs = tiers[2][:10]
+    for src in stubs:
+        for dst in stubs:
+            if src == dst:
+                continue
+            route = bgp.route(src, dst)
+            assert route is not None, (src, dst)
+            assert bgp.is_valley_free(route.as_path), route
+            assert route.as_path[0] == src and route.as_path[-1] == dst

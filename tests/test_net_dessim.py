@@ -1,0 +1,162 @@
+"""Packet-level DES transport vs the analytic latency model."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.geo import GeoPoint
+from repro.net import Node, NodeKind, Topology
+from repro.net.dessim import PacketNetwork
+from repro.net.queueing import mm1_wait
+from repro.sim import RngRegistry, Simulator
+
+
+def make_chain(rate_bps=units.gbps(1.0)):
+    """a -- r1 -- r2 -- b, ~11 km legs."""
+    topo = Topology("chain")
+    coords = [(46.60, 14.30), (46.70, 14.30), (46.80, 14.30),
+              (46.90, 14.30)]
+    names = ["a", "r1", "r2", "b"]
+    kinds = [NodeKind.SERVER, NodeKind.ROUTER, NodeKind.ROUTER,
+             NodeKind.SERVER]
+    for name, kind, (lat, lon) in zip(names, kinds, coords):
+        topo.add_node(Node(name, kind, GeoPoint(lat, lon), asn=1))
+    for a, b in zip(names, names[1:]):
+        topo.connect(a, b, rate_bps=rate_bps)
+    return topo
+
+
+def test_single_packet_matches_analytic_latency():
+    """On an idle network, DES latency equals the analytic breakdown
+    exactly (no queueing anywhere)."""
+    topo = make_chain()
+    sim = Simulator()
+    net = PacketNetwork(sim, topo)
+    path = ["a", "r1", "r2", "b"]
+    size = units.bytes_(1500)
+    done = net.send(path, size)
+    sim.run()
+    packet = done.value
+    expected = topo.path_latency(path, size).total
+    assert packet.latency_s == pytest.approx(expected, rel=1e-9)
+
+
+def test_packets_are_delivered_in_order():
+    topo = make_chain()
+    sim = Simulator()
+    net = PacketNetwork(sim, topo)
+    path = ["a", "r1", "r2", "b"]
+    events = [net.send(path, units.bytes_(1500)) for _ in range(50)]
+    sim.run()
+    delivery_times = [ev.value.delivered_at for ev in events]
+    assert delivery_times == sorted(delivery_times)
+    assert net.delivered.count == 50
+
+
+def test_back_to_back_packets_pipeline_on_the_wire():
+    """The second of two back-to-back packets is delayed by one
+    serialization time, not a full store-and-forward round."""
+    topo = make_chain(rate_bps=units.mbps(10.0))   # slow: tx dominates
+    sim = Simulator()
+    net = PacketNetwork(sim, topo)
+    path = ["a", "r1", "r2", "b"]
+    size = units.bytes_(1500)
+    first = net.send(path, size)
+    second = net.send(path, size)
+    sim.run()
+    tx = topo.link("a", "r1").transmission_delay(size)
+    gap = second.value.delivered_at - first.value.delivered_at
+    assert gap == pytest.approx(tx, rel=1e-6)
+
+
+def test_cross_traffic_queueing_converges_to_mm1():
+    """Poisson cross-traffic on the bottleneck: DES waiting matches the
+    analytic M/M/1 mean the campaign samples from.
+
+    Arrivals are Poisson and sizes exponential => the bottleneck approximates
+    an M/M/1 queue at rho = lambda * E[S]."""
+    topo = make_chain(rate_bps=units.mbps(100.0))
+    sim = Simulator()
+    net = PacketNetwork(sim, topo)
+    rng = RngRegistry(31).stream("cross")
+    mean_size = units.bytes_(1500)
+    service = topo.link("r1", "r2").transmission_delay(mean_size)
+    rho = 0.7
+    rate = rho / service
+
+    def source():
+        for _ in range(30_000):
+            yield sim.timeout(float(rng.exponential(1.0 / rate)))
+            size = max(float(rng.exponential(mean_size)), 64.0)
+            net.send(["r1", "r2"], size)
+
+    sim.process(source())
+    sim.run()
+    # Mean DES latency = wait + service + propagation.
+    prop = topo.link("r1", "r2").propagation_delay()
+    waits = net.delivered.values - prop
+    measured_wait_plus_service = float(np.mean(waits))
+    expected = mm1_wait(rho, service) + service
+    assert measured_wait_plus_service == pytest.approx(expected, rel=0.1)
+
+
+def test_send_validation():
+    topo = make_chain()
+    net = PacketNetwork(Simulator(), topo)
+    with pytest.raises(ValueError):
+        net.send(["a"], 100.0)
+    with pytest.raises(KeyError):
+        net.send(["a", "b"], 100.0)       # no direct a--b link
+    with pytest.raises(ValueError):
+        net.send(["a", "r1"], 0.0)
+
+
+def test_poisson_source_validation():
+    topo = make_chain()
+    sim = Simulator()
+    net = PacketNetwork(sim, topo)
+    rng = RngRegistry(1).stream("x")
+    with pytest.raises(ValueError):
+        net.poisson_source(["a", "r1"], rate_pps=0.0, size_bits=100.0,
+                           count=1, rng=rng)
+    with pytest.raises(ValueError):
+        net.poisson_source(["a", "r1"], rate_pps=1.0, size_bits=100.0,
+                           count=0, rng=rng)
+
+
+def test_latency_before_delivery_raises():
+    from repro.net.dessim import Packet
+    undelivered = Packet(packet_id=0, path=("a", "b"), size_bits=1.0,
+                         created_at=0.0)
+    with pytest.raises(ValueError):
+        _ = undelivered.latency_s
+    topo = make_chain()
+    sim = Simulator()
+    net = PacketNetwork(sim, topo)
+    done = net.send(["a", "r1"], 100.0)
+    sim.run()
+    assert done.value.latency_s > 0
+
+
+def test_two_flows_share_a_bottleneck():
+    """Two flows through one slow link: each sees more latency than it
+    would alone — the interaction the analytic model cannot express."""
+    topo = make_chain(rate_bps=units.mbps(20.0))
+    size = units.bytes_(1500)
+
+    def run(flows: int) -> float:
+        sim = Simulator()
+        net = PacketNetwork(sim, topo)
+        rng = RngRegistry(17).stream("flows", flows)
+        service = topo.link("r1", "r2").transmission_delay(size)
+        per_flow_rate = 0.4 / service     # each flow offers rho=0.4
+        for _ in range(flows):
+            sim.process(net.poisson_source(
+                ["r1", "r2"], rate_pps=per_flow_rate,
+                size_bits=size, count=5_000, rng=rng))
+        sim.run()
+        return net.delivered.summary().mean
+
+    alone = run(1)       # rho = 0.4
+    together = run(2)    # rho = 0.8
+    assert together > alone

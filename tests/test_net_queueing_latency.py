@@ -1,0 +1,148 @@
+"""Tests for queueing formulas and latency breakdowns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import (
+    LatencyBreakdown,
+    md1_wait,
+    mg1_wait,
+    mm1_residence,
+    mm1_wait,
+    sample_mm1_wait,
+)
+from repro.sim import RngRegistry
+
+rho_st = st.floats(min_value=0.0, max_value=0.95)
+service_st = st.floats(min_value=1e-9, max_value=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Queueing formulas
+# ---------------------------------------------------------------------------
+
+def test_mm1_wait_known_value():
+    # rho=0.5, E[S]=2ms -> W_q = 2ms
+    assert mm1_wait(0.5, 2e-3) == pytest.approx(2e-3)
+
+
+def test_md1_is_half_of_mm1():
+    assert md1_wait(0.6, 1e-3) == pytest.approx(mm1_wait(0.6, 1e-3) / 2.0)
+
+
+def test_mg1_interpolates_mm1_md1():
+    rho, s = 0.7, 5e-4
+    assert mg1_wait(rho, s, service_scv=1.0) == pytest.approx(
+        mm1_wait(rho, s))
+    assert mg1_wait(rho, s, service_scv=0.0) == pytest.approx(
+        md1_wait(rho, s))
+
+
+def test_mm1_residence_includes_service():
+    assert mm1_residence(0.0, 1e-3) == pytest.approx(1e-3)
+    assert mm1_residence(0.5, 1e-3) == pytest.approx(2e-3)
+
+
+def test_unstable_utilisation_rejected():
+    for func in (lambda: mm1_wait(1.0, 1e-3),
+                 lambda: md1_wait(1.2, 1e-3),
+                 lambda: mg1_wait(-0.1, 1e-3, 1.0),
+                 lambda: mm1_residence(1.0, 1e-3)):
+        with pytest.raises(ValueError):
+            func()
+
+
+def test_negative_service_time_rejected():
+    with pytest.raises(ValueError):
+        mm1_wait(0.5, -1e-3)
+    with pytest.raises(ValueError):
+        mg1_wait(0.5, 1e-3, -1.0)
+
+
+@given(rho_st, service_st)
+def test_mm1_wait_nonnegative_and_monotone_in_rho(rho, s):
+    w = mm1_wait(rho, s)
+    assert w >= 0.0
+    assert mm1_wait(min(rho + 0.01, 0.96), s) >= w
+
+
+def test_zero_load_means_zero_wait():
+    assert mm1_wait(0.0, 1e-3) == 0.0
+    assert md1_wait(0.0, 1e-3) == 0.0
+
+
+def test_sample_mm1_wait_mean_converges():
+    rng = RngRegistry(7).stream("q")
+    rho, s = 0.6, 1e-3
+    samples = sample_mm1_wait(rho, s, rng, size=200_000)
+    assert np.mean(samples) == pytest.approx(mm1_wait(rho, s), rel=0.05)
+
+
+def test_sample_mm1_wait_scalar_and_zero_load():
+    rng = RngRegistry(7).stream("q2")
+    assert sample_mm1_wait(0.0, 1e-3, rng) == 0.0
+    value = sample_mm1_wait(0.5, 1e-3, rng)
+    assert isinstance(value, float) and value >= 0.0
+
+
+def test_sample_mm1_idle_fraction():
+    rng = RngRegistry(11).stream("q3")
+    rho = 0.3
+    samples = sample_mm1_wait(rho, 1e-3, rng, size=100_000)
+    # P(W = 0) = 1 - rho
+    assert np.mean(samples == 0.0) == pytest.approx(1.0 - rho, abs=0.01)
+
+
+# ---------------------------------------------------------------------------
+# LatencyBreakdown
+# ---------------------------------------------------------------------------
+
+def test_breakdown_total_is_sum():
+    b = LatencyBreakdown(propagation=1e-3, transmission=2e-3,
+                         queueing=3e-3, processing=4e-3)
+    assert b.total == pytest.approx(10e-3)
+
+
+def test_breakdown_addition():
+    a = LatencyBreakdown(propagation=1e-3)
+    b = LatencyBreakdown(queueing=2e-3)
+    c = a + b
+    assert c.propagation == 1e-3
+    assert c.queueing == 2e-3
+    assert c.total == pytest.approx(3e-3)
+
+
+def test_breakdown_scaling():
+    b = LatencyBreakdown(propagation=1e-3, processing=1e-3)
+    doubled = b.scaled(2.0)
+    assert doubled.total == pytest.approx(4e-3)
+    with pytest.raises(ValueError):
+        b.scaled(-1.0)
+
+
+def test_breakdown_share():
+    b = LatencyBreakdown(propagation=3e-3, queueing=1e-3)
+    assert b.share("propagation") == pytest.approx(0.75)
+    assert LatencyBreakdown.zero().share("queueing") == 0.0
+    with pytest.raises(KeyError):
+        b.share("teleportation")
+
+
+def test_breakdown_rejects_negative_components():
+    with pytest.raises(ValueError):
+        LatencyBreakdown(propagation=-1e-3)
+
+
+def test_breakdown_as_dict_includes_total():
+    d = LatencyBreakdown(processing=5e-3).as_dict()
+    assert d["processing"] == 5e-3
+    assert d["total"] == pytest.approx(5e-3)
+
+
+@given(st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1),
+       st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+def test_breakdown_addition_commutes(p, t, q, r):
+    a = LatencyBreakdown(p, t, q, r)
+    b = LatencyBreakdown(r, q, t, p)
+    assert (a + b).total == pytest.approx((b + a).total)

@@ -1,0 +1,148 @@
+"""Tests for the dataset-analysis helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import CellId, GeoPoint, Grid
+from repro.probes import MeasurementDataset
+from repro.probes.analysis import Cdf, DatasetAnalysis
+
+
+@pytest.fixture
+def grid():
+    return Grid(GeoPoint(46.653, 14.255), cell_size_m=1000.0, cols=6,
+                rows=7)
+
+
+def build_dataset():
+    ds = MeasurementDataset()
+    fast = CellId.from_label("C1")
+    slow = CellId.from_label("C3")
+    for i in range(20):
+        ds.add(float(i), fast, "peer-1", 0.060 + 0.001 * (i % 4))
+        ds.add(float(i), slow, "probe", 0.100 + 0.002 * (i % 5))
+    return ds
+
+
+# ---------------------------------------------------------------------------
+# Cdf
+# ---------------------------------------------------------------------------
+
+def test_cdf_basic_properties():
+    cdf = Cdf.of(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert cdf.at(0.5) == 0.0
+    assert cdf.at(2.0) == pytest.approx(0.5)
+    assert cdf.at(10.0) == 1.0
+    assert cdf.quantile(0.5) == 2.0
+    assert cdf.quantile(1.0) == 4.0
+
+
+def test_cdf_validation():
+    with pytest.raises(ValueError):
+        Cdf.of(np.array([]))
+    cdf = Cdf.of(np.array([1.0]))
+    with pytest.raises(ValueError):
+        cdf.quantile(0.0)
+    with pytest.raises(ValueError):
+        cdf.quantile(1.5)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3,
+                          allow_nan=False), min_size=1, max_size=100))
+def test_cdf_is_monotone(samples):
+    cdf = Cdf.of(np.array(samples))
+    probes = np.linspace(min(samples) - 1, max(samples) + 1, 17)
+    values = [cdf.at(float(p)) for p in probes]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+    assert values[0] == 0.0 and values[-1] == 1.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3,
+                          allow_nan=False), min_size=2, max_size=100),
+       st.floats(min_value=0.05, max_value=1.0))
+def test_cdf_quantile_at_round_trip(samples, q):
+    cdf = Cdf.of(np.array(samples))
+    value = cdf.quantile(q)
+    # at(quantile(q)) >= q by definition of the empirical quantile.
+    assert cdf.at(value) >= q - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# DatasetAnalysis
+# ---------------------------------------------------------------------------
+
+def test_analysis_requires_samples(grid):
+    with pytest.raises(ValueError):
+        DatasetAnalysis(grid, MeasurementDataset())
+
+
+def test_cell_cdf_and_overall(grid):
+    analysis = DatasetAnalysis(grid, build_dataset())
+    fast = analysis.cell_cdf(CellId.from_label("C1"))
+    slow = analysis.cell_cdf(CellId.from_label("C3"))
+    assert fast.quantile(0.5) < slow.quantile(0.5)
+    overall = analysis.overall_cdf()
+    assert overall.values.size == 40
+    with pytest.raises(ValueError):
+        analysis.cell_cdf(CellId.from_label("A1"))
+
+
+def test_percentile_matrix(grid):
+    analysis = DatasetAnalysis(grid, build_dataset())
+    p95 = analysis.percentile_matrix_ms(0.95)
+    p50 = analysis.percentile_matrix_ms(0.50)
+    c3 = CellId.from_label("C3")
+    assert p95[c3.row, c3.col] >= p50[c3.row, c3.col]
+    assert p50[0, 0] == 0.0            # unmeasured cell masked
+    with pytest.raises(ValueError):
+        analysis.percentile_matrix_ms(2.0)
+
+
+def test_violation_matrix(grid):
+    analysis = DatasetAnalysis(grid, build_dataset())
+    violations = analysis.violation_matrix(0.020)
+    c1, c3 = CellId.from_label("C1"), CellId.from_label("C3")
+    assert violations[c1.row, c1.col] == 1.0    # all over 20 ms
+    assert violations[c3.row, c3.col] == 1.0
+    loose = analysis.violation_matrix(0.080)
+    assert loose[c1.row, c1.col] == 0.0
+    assert loose[c3.row, c3.col] == 1.0
+    with pytest.raises(ValueError):
+        analysis.violation_matrix(0.0)
+
+
+def test_worst_cells(grid):
+    analysis = DatasetAnalysis(grid, build_dataset())
+    worst = analysis.worst_cells(1)
+    assert worst[0][0] == CellId.from_label("C3")
+    assert len(analysis.worst_cells(10)) == 2   # only two measured
+    with pytest.raises(ValueError):
+        analysis.worst_cells(0)
+
+
+def test_target_means_and_gap(grid):
+    analysis = DatasetAnalysis(grid, build_dataset())
+    means = analysis.target_means_s()
+    assert set(means) == {"peer-1", "probe"}
+    assert means["probe"] > means["peer-1"]
+    gap = analysis.wired_vs_peer_gap_s({"probe"})
+    assert gap == pytest.approx(means["probe"] - means["peer-1"])
+    with pytest.raises(ValueError):
+        analysis.wired_vs_peer_gap_s({"nonexistent"})
+
+
+def test_analysis_on_real_campaign():
+    """End-to-end: analysis over the reproduced campaign dataset."""
+    from repro.core import KlagenfurtScenario
+    scenario = KlagenfurtScenario(seed=42)
+    dataset = scenario.run_campaign(2.0)
+    analysis = DatasetAnalysis(scenario.grid, dataset)
+    # Every measured sample violates the 20 ms AR budget.
+    violations = analysis.violation_matrix(0.020)
+    for cell in dataset.cells_observed():
+        assert violations[cell.row, cell.col] == 1.0
+    # The p95 field dominates the median field.
+    p95 = analysis.percentile_matrix_ms(0.95)
+    p50 = analysis.percentile_matrix_ms(0.50)
+    assert (p95 >= p50).all()

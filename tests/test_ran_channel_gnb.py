@@ -1,0 +1,299 @@
+"""Tests for the channel model, gNB layer, scheduler and access/handover."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.geo import CellId, GeoPoint, Grid
+from repro.ran import (
+    AccessProcedure,
+    CellLoadModel,
+    ChannelModel,
+    GNodeB,
+    HandoverModel,
+    RadioConfig,
+    RadioNetwork,
+    SchedulerPolicy,
+)
+from repro.geo.mobility import MobilitySample
+from repro.sim import RngRegistry
+
+CENTRE = GeoPoint(46.62, 14.30)
+
+
+@pytest.fixture
+def channel():
+    return ChannelModel(3.5e9, seed=7)
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(5).stream("ran")
+
+
+# ---------------------------------------------------------------------------
+# ChannelModel
+# ---------------------------------------------------------------------------
+
+def test_pathloss_increases_with_distance(channel):
+    assert channel.pathloss_db(100.0) < channel.pathloss_db(1000.0)
+    assert channel.pathloss_db(1000.0) < channel.pathloss_db(5000.0)
+
+
+def test_pathloss_close_in_floor(channel):
+    assert channel.pathloss_db(1.0) == channel.pathloss_db(10.0)
+    with pytest.raises(ValueError):
+        channel.pathloss_db(-1.0)
+
+
+def test_pathloss_increases_with_frequency():
+    low = ChannelModel(3.5e9)
+    high = ChannelModel(28e9)
+    assert high.pathloss_db(500.0) > low.pathloss_db(500.0)
+
+
+def test_shadowing_is_spatially_consistent(channel):
+    spot = GeoPoint(46.6201, 14.3002)
+    nearby = GeoPoint(46.62012, 14.30022)  # within the same ~10 m tile
+    far = GeoPoint(46.63, 14.32)
+    assert channel.shadowing_db(spot) == channel.shadowing_db(spot)
+    assert channel.shadowing_db(spot) == channel.shadowing_db(nearby)
+    assert channel.shadowing_db(spot) != channel.shadowing_db(far)
+
+
+def test_sinr_decreases_with_distance_and_load(channel):
+    spot = GeoPoint(46.62, 14.30)
+    near = channel.sinr_db(200.0, spot)
+    far = channel.sinr_db(2000.0, spot)
+    assert near > far
+    assert channel.sinr_db(200.0, spot, load=0.9) < near
+    with pytest.raises(ValueError):
+        channel.sinr_db(200.0, spot, load=1.5)
+
+
+def test_bler_waterfall(channel):
+    assert channel.bler(8.0) == pytest.approx(0.1, rel=0.01)  # operating pt
+    assert channel.bler(25.0) < 0.001
+    assert channel.bler(-10.0) > 0.9
+    with pytest.raises(ValueError):
+        channel.bler(10.0, target_bler=0.0)
+
+
+def test_spectral_efficiency_caps(channel):
+    assert channel.spectral_efficiency(100.0) == pytest.approx(7.4)
+    assert channel.spectral_efficiency(0.0) == pytest.approx(1.0)
+
+
+def test_achievable_rate_scales_with_share(channel):
+    full = channel.achievable_rate_bps(15.0)
+    half = channel.achievable_rate_bps(15.0, bandwidth_share=0.5)
+    assert half == pytest.approx(full / 2)
+    with pytest.raises(ValueError):
+        channel.achievable_rate_bps(15.0, bandwidth_share=0.0)
+
+
+def test_channel_validation():
+    with pytest.raises(ValueError):
+        ChannelModel(0.0)
+    with pytest.raises(ValueError):
+        ChannelModel(1e9, bandwidth_hz=-1)
+    with pytest.raises(ValueError):
+        ChannelModel(1e9, shadowing_sigma_db=-2)
+
+
+# ---------------------------------------------------------------------------
+# GNodeB / RadioNetwork
+# ---------------------------------------------------------------------------
+
+def make_network(channel):
+    cfg = RadioConfig.nr_5g()
+    west = GNodeB("gnb-west", GeoPoint(46.62, 14.28), cfg)
+    east = GNodeB("gnb-east", GeoPoint(46.62, 14.32), cfg)
+    return RadioNetwork(channel, [west, east])
+
+
+def test_serving_picks_nearest_site(channel):
+    net = make_network(channel)
+    gnb, sinr = net.serving(GeoPoint(46.62, 14.281))
+    assert gnb.name == "gnb-west"
+    gnb, _ = net.serving(GeoPoint(46.62, 14.319))
+    assert gnb.name == "gnb-east"
+
+
+def test_load_aware_serving_can_switch(channel):
+    net = make_network(channel)
+    midpoint = GeoPoint(46.62, 14.2999)   # slightly west of centre
+    gnb, _ = net.serving(midpoint)
+    assert gnb.name == "gnb-west"
+    net.gnb("gnb-west").load = 0.95
+    gnb, _ = net.serving(midpoint)
+    assert gnb.name == "gnb-east"
+    gnb, _ = net.serving(midpoint, load_aware=False)
+    assert gnb.name == "gnb-west"
+
+
+def test_network_validation(channel):
+    net = make_network(channel)
+    with pytest.raises(ValueError):
+        net.add(GNodeB("gnb-west", CENTRE, RadioConfig.nr_5g()))
+    with pytest.raises(KeyError):
+        net.gnb("nope")
+    with pytest.raises(RuntimeError):
+        RadioNetwork(channel).serving(CENTRE)
+    with pytest.raises(ValueError):
+        GNodeB("x", CENTRE, RadioConfig.nr_5g(), load=1.0)
+    with pytest.raises(ValueError):
+        GNodeB("", CENTRE, RadioConfig.nr_5g())
+
+
+def test_air_interface_accessor(channel):
+    net = make_network(channel)
+    air = net.air_interface("gnb-west")
+    assert air.config is net.gnb("gnb-west").config
+
+
+def test_coverage_sinr(channel):
+    net = make_network(channel)
+    sinrs = net.coverage_sinr([GeoPoint(46.62, 14.28), GeoPoint(46.62, 14.40)])
+    assert sinrs[0] > sinrs[1]
+
+
+# ---------------------------------------------------------------------------
+# CellLoadModel (scalability, Sec. II-C)
+# ---------------------------------------------------------------------------
+
+def test_utilisation_grows_with_population(channel):
+    model = CellLoadModel(channel)
+    rate = units.mbps(0.1)
+    u_small = model.utilisation(100, rate)
+    u_big = model.utilisation(5000, rate)
+    assert u_small < u_big <= 0.99
+
+
+def test_pf_beats_rr_capacity(channel):
+    pf = CellLoadModel(channel, policy=SchedulerPolicy.PROPORTIONAL_FAIR)
+    rr = CellLoadModel(channel, policy=SchedulerPolicy.ROUND_ROBIN)
+    assert pf.cell_capacity_bps(64) > rr.cell_capacity_bps(64)
+    assert pf.cell_capacity_bps(1) == rr.cell_capacity_bps(1)
+
+
+def test_max_supported_users_consistent(channel):
+    model = CellLoadModel(channel)
+    rate = units.mbps(0.05)
+    n = model.max_supported_users(rate, max_utilisation=0.9)
+    assert model.utilisation(n, rate) <= 0.9
+    assert model.utilisation(n + 1, rate) > 0.9
+
+
+def test_load_model_validation(channel):
+    model = CellLoadModel(channel)
+    with pytest.raises(ValueError):
+        model.utilisation(-1, 1e6)
+    with pytest.raises(ValueError):
+        model.utilisation(10, -1e6)
+    with pytest.raises(ValueError):
+        model.cell_capacity_bps(0)
+    with pytest.raises(ValueError):
+        model.max_supported_users(0.0)
+    assert model.utilisation(0, 1e6) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# AccessProcedure
+# ---------------------------------------------------------------------------
+
+def test_attach_latency_magnitude_5g(rng):
+    proc = AccessProcedure(RadioConfig.nr_5g())
+    samples = [proc.sample_attach(rng) for _ in range(300)]
+    mean = np.mean(samples)
+    assert units.ms(5.0) < mean < units.ms(30.0)
+
+
+def test_attach_contention_increases_latency(rng):
+    proc = AccessProcedure(RadioConfig.nr_5g())
+    assert proc.mean_attach(contenders=40) > proc.mean_attach(contenders=1)
+
+
+def test_collision_probability():
+    proc = AccessProcedure(RadioConfig.nr_5g(), n_preambles=54)
+    assert proc.collision_probability(1) == 0.0
+    assert 0.0 < proc.collision_probability(10) < \
+        proc.collision_probability(50) < 1.0
+    with pytest.raises(ValueError):
+        proc.collision_probability(-1)
+
+
+def test_attach_gives_up_under_extreme_contention(rng):
+    proc = AccessProcedure(RadioConfig.nr_5g(), n_preambles=2,
+                           max_attempts=3)
+    with pytest.raises(RuntimeError):
+        for _ in range(200):    # overwhelmingly likely to hit the budget
+            proc.sample_attach(rng, contenders=500)
+
+
+def test_access_validation():
+    with pytest.raises(ValueError):
+        AccessProcedure(RadioConfig.nr_5g(), prach_period_s=0.0)
+    with pytest.raises(ValueError):
+        AccessProcedure(RadioConfig.nr_5g(), n_preambles=0)
+
+
+# ---------------------------------------------------------------------------
+# HandoverModel
+# ---------------------------------------------------------------------------
+
+def drive_east(grid, times=60):
+    """Straight west-to-east trace through both coverage areas."""
+    samples = []
+    for i in range(times):
+        pos = GeoPoint(46.62, 14.27 + i * 0.0012)
+        samples.append(MobilitySample(time=float(i), position=pos,
+                                      cell=grid.locate(pos)))
+    return samples
+
+
+def test_handover_triggers_on_crossing(channel, rng):
+    net = make_network(channel)
+    grid = Grid(GeoPoint(46.653, 14.255), cols=6, rows=7)
+    model = HandoverModel(net, time_to_trigger_s=1.0)
+    events = model.walk(drive_east(grid), rng)
+    assert len(events) >= 1
+    assert events[0].source == "gnb-west"
+    assert events[0].target == "gnb-east"
+
+
+def test_handover_interruption_by_generation(channel, rng):
+    net = make_network(channel)
+    model = HandoverModel(net)
+    gnb5 = net.gnb("gnb-east")
+    assert model.interruption_for(gnb5) == pytest.approx(45e-3)
+    gnb6 = GNodeB("gnb-6g", CENTRE, RadioConfig.nr_6g())
+    assert model.interruption_for(gnb6) == pytest.approx(0.5e-3)
+    sampled = model.sample_interruption(gnb5, rng)
+    assert 0.7 * 45e-3 <= sampled <= 1.3 * 45e-3
+
+
+def test_handover_hysteresis_blocks_marginal_switch(channel, rng):
+    net = make_network(channel)
+    grid = Grid(GeoPoint(46.653, 14.255), cols=6, rows=7)
+    tight = HandoverModel(net, a3_offset_db=0.5, time_to_trigger_s=1.0)
+    loose = HandoverModel(net, a3_offset_db=30.0, time_to_trigger_s=1.0)
+    assert len(loose.walk(drive_east(grid), rng)) <= \
+        len(tight.walk(drive_east(grid), rng))
+
+
+def test_handover_total_interruption(channel, rng):
+    net = make_network(channel)
+    grid = Grid(GeoPoint(46.653, 14.255), cols=6, rows=7)
+    model = HandoverModel(net, time_to_trigger_s=1.0)
+    events = model.walk(drive_east(grid), rng)
+    assert model.total_interruption(events) == pytest.approx(
+        sum(e.interruption_s for e in events))
+
+
+def test_handover_validation(channel):
+    net = make_network(channel)
+    with pytest.raises(ValueError):
+        HandoverModel(net, a3_offset_db=-1.0)
+    with pytest.raises(ValueError):
+        HandoverModel(net, interruption_jitter=1.0)

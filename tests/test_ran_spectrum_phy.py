@@ -1,0 +1,175 @@
+"""Tests for numerology, radio configs and the air-interface model."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.ran import (
+    AirInterface,
+    Band,
+    ChannelModel,
+    Generation,
+    Numerology,
+    RadioConfig,
+)
+from repro.sim import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(99).stream("phy")
+
+
+def air_for(config):
+    return AirInterface(config, ChannelModel(config.carrier_frequency_hz))
+
+
+# ---------------------------------------------------------------------------
+# Numerology / RadioConfig
+# ---------------------------------------------------------------------------
+
+def test_numerology_scs_and_slots():
+    mu0 = Numerology(0)
+    assert mu0.subcarrier_spacing_hz == 15e3
+    assert mu0.slot_duration_s == pytest.approx(1e-3)
+    mu3 = Numerology(3)
+    assert mu3.subcarrier_spacing_hz == 120e3
+    assert mu3.slot_duration_s == pytest.approx(0.125e-3)
+    assert mu3.slots_per_subframe == 8
+
+
+def test_numerology_bounds():
+    with pytest.raises(ValueError):
+        Numerology(-1)
+    with pytest.raises(ValueError):
+        Numerology(7)
+
+
+def test_5g_and_6g_presets():
+    cfg5 = RadioConfig.nr_5g()
+    cfg6 = RadioConfig.nr_6g()
+    assert cfg5.generation is Generation.FIVE_G
+    assert cfg6.generation is Generation.SIX_G
+    assert cfg6.slot_s < cfg5.slot_s / 10
+    assert cfg6.configured_grant and not cfg5.configured_grant
+    assert cfg6.band is Band.SUB_THZ
+
+
+def test_preset_overrides():
+    cfg = RadioConfig.nr_5g(sr_period_slots=2)
+    assert cfg.sr_period_slots == 2
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RadioConfig.nr_5g(sr_period_slots=0)
+    with pytest.raises(ValueError):
+        RadioConfig.nr_5g(target_bler=1.0)
+    with pytest.raises(ValueError):
+        RadioConfig.nr_5g(harq_rtt_slots=0)
+    with pytest.raises(ValueError):
+        RadioConfig.nr_5g(processing_base_s=-1e-3)
+
+
+# ---------------------------------------------------------------------------
+# Air-interface magnitudes (the paper's Section II-A claims)
+# ---------------------------------------------------------------------------
+
+def test_5g_air_rtt_is_milliseconds(rng):
+    air = air_for(RadioConfig.nr_5g())
+    samples = [air.sample_rtt(rng, load=0.3, sinr_db=15) for _ in range(500)]
+    mean = np.mean(samples)
+    assert units.ms(4.0) < mean < units.ms(15.0)
+
+
+def test_6g_air_one_way_near_100us_target(rng):
+    """Sec. II-A: 6G can reach ~100 us — ten times below 5G's 1 ms."""
+    air = air_for(RadioConfig.nr_6g())
+    samples = [air.sample_uplink(rng, load=0.2, sinr_db=20)
+               for _ in range(500)]
+    assert np.mean(samples) < units.us(150.0)
+
+
+def test_6g_vs_5g_factor_at_least_ten(rng):
+    air5, air6 = air_for(RadioConfig.nr_5g()), air_for(RadioConfig.nr_6g())
+    m5 = air5.mean_rtt(load=0.2, sinr_db=15)
+    m6 = air6.mean_rtt(load=0.2, sinr_db=15)
+    assert m5 / m6 > 10.0
+
+
+def test_uplink_slower_than_downlink_without_configured_grant(rng):
+    air = air_for(RadioConfig.nr_5g())
+    assert air.mean_uplink(load=0.0, sinr_db=20) > \
+        air.mean_downlink(load=0.0, sinr_db=20)
+
+
+def test_configured_grant_removes_sr_cycle():
+    base = RadioConfig.nr_5g()
+    cg = RadioConfig.nr_5g(configured_grant=True)
+    gain = (air_for(base).mean_uplink(sinr_db=20)
+            - air_for(cg).mean_uplink(sinr_db=20))
+    expected = (base.sr_period_slots / 2.0 + base.grant_delay_slots) \
+        * base.slot_s
+    assert gain == pytest.approx(expected, rel=1e-6)
+
+
+def test_load_increases_latency(rng):
+    air = air_for(RadioConfig.nr_5g())
+    assert air.mean_rtt(load=0.9, sinr_db=15) > \
+        air.mean_rtt(load=0.1, sinr_db=15)
+
+
+def test_poor_sinr_increases_latency_via_harq():
+    air = air_for(RadioConfig.nr_5g())
+    assert air.mean_rtt(load=0.0, sinr_db=-5.0) > \
+        air.mean_rtt(load=0.0, sinr_db=25.0)
+
+
+def test_sample_matches_analytic_mean(rng):
+    air = air_for(RadioConfig.nr_5g())
+    samples = [air.sample_rtt(rng, load=0.5, sinr_db=10)
+               for _ in range(20_000)]
+    assert np.mean(samples) == pytest.approx(
+        air.mean_rtt(load=0.5, sinr_db=10), rel=0.05)
+
+
+def test_air_sample_carries_retx_count(rng):
+    air = air_for(RadioConfig.nr_5g())
+    sample = air.sample_uplink(rng, load=0.0, sinr_db=-10.0)
+    assert 0 <= sample.retx <= air.config.max_harq_retx
+    assert float(sample) > 0
+
+
+def test_harq_budget_respected(rng):
+    air = air_for(RadioConfig.nr_5g(max_harq_retx=2))
+    # hopeless SINR: every attempt fails until the budget runs out
+    for _ in range(50):
+        assert air.sample_downlink(rng, sinr_db=-40.0).retx <= 2
+
+
+def test_expected_retx_formula():
+    air = air_for(RadioConfig.nr_5g(max_harq_retx=3))
+    assert air.expected_retx(0.0) == 0.0
+    # bler=0.5: E = 0.5 + 0.25 + 0.125
+    assert air.expected_retx(0.5) == pytest.approx(0.875)
+    with pytest.raises(ValueError):
+        air.expected_retx(1.0)
+
+
+def test_invalid_load_rejected(rng):
+    air = air_for(RadioConfig.nr_5g())
+    with pytest.raises(ValueError):
+        air.sample_uplink(rng, load=1.0)
+    with pytest.raises(ValueError):
+        air.mean_uplink(load=-0.1)
+
+
+def test_zero_load_no_queueing(rng):
+    air = air_for(RadioConfig.nr_5g())
+    cfg = air.config
+    # At perfect SINR and zero load, UL latency is bounded by the
+    # deterministic components plus the two uniform waits.
+    upper = (cfg.processing_base_s
+             + (cfg.sr_period_slots + cfg.grant_delay_slots + 2) * cfg.slot_s)
+    for _ in range(200):
+        assert air.sample_uplink(rng, load=0.0, sinr_db=60.0) <= upper

@@ -1,0 +1,133 @@
+"""Tests for the RRC state machine and V2X platooning models."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.apps.v2x import PlatoonConfig, PlatoonModel
+from repro.ran import RadioConfig
+from repro.ran.rrc import RrcConfig, RrcState, RrcStateMachine
+from repro.sim import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(7).stream("rrc")
+
+
+# ---------------------------------------------------------------------------
+# RRC state machine
+# ---------------------------------------------------------------------------
+
+def machine():
+    return RrcStateMachine(RadioConfig.nr_5g(),
+                           RrcConfig(inactivity_s=10.0, release_s=60.0))
+
+
+def test_initial_state_is_idle():
+    assert machine().state is RrcState.IDLE
+
+
+def test_first_packet_pays_full_setup(rng):
+    sm = machine()
+    cost = sm.wakeup_cost_s(0.0, rng)
+    assert cost > units.ms(10.0)          # RACH + setup signalling
+    assert sm.state is RrcState.CONNECTED
+
+
+def test_packet_within_activity_window_is_free(rng):
+    sm = machine()
+    sm.wakeup_cost_s(0.0, rng)
+    assert sm.wakeup_cost_s(5.0, rng) == 0.0
+
+
+def test_inactive_resume_cheaper_than_idle_setup(rng):
+    sm = machine()
+    sm.wakeup_cost_s(0.0, rng)
+    # After the inactivity timer: INACTIVE.
+    assert sm.state_at(15.0) is RrcState.INACTIVE
+    resume = sm.wakeup_cost_s(15.0, rng)
+    # After inactivity + release: IDLE.
+    assert sm.state_at(15.0 + 75.0) is RrcState.IDLE
+    setup = sm.wakeup_cost_s(15.0 + 75.0, rng)
+    # Mean comparison is the robust one (single samples are noisy).
+    assert sm.mean_wakeup_cost_s(RrcState.INACTIVE) < \
+        sm.mean_wakeup_cost_s(RrcState.IDLE)
+    assert sm.mean_wakeup_cost_s(RrcState.CONNECTED) == 0.0
+    assert resume > 0 and setup > 0
+
+
+def test_burst_timeline(rng):
+    sm = machine()
+    # bursts at t=0 (cold), t=1..3 (warm), t=100 (idle again)
+    arrivals = np.array([0.0, 1.0, 2.0, 3.0, 100.0])
+    costs = sm.burst_timeline_costs(arrivals, rng)
+    assert costs[0] > 0.0
+    assert (costs[1:4] == 0.0).all()
+    assert costs[4] > 0.0
+
+
+def test_rrc_validation(rng):
+    with pytest.raises(ValueError):
+        RrcConfig(inactivity_s=0.0)
+    sm = machine()
+    sm.wakeup_cost_s(10.0, rng)
+    with pytest.raises(ValueError):
+        sm.state_at(5.0)     # time went backwards
+    with pytest.raises(ValueError):
+        sm.burst_timeline_costs(np.array([]), rng)
+    with pytest.raises(ValueError):
+        sm.burst_timeline_costs(np.array([2.0, 1.0]), rng)
+
+
+# ---------------------------------------------------------------------------
+# V2X platooning
+# ---------------------------------------------------------------------------
+
+def test_headway_bound_grows_with_latency():
+    platoon = PlatoonModel(PlatoonConfig())
+    bounds = [platoon.min_stable_headway_s(units.ms(x))
+              for x in (1.0, 10.0, 61.0)]
+    assert bounds[0] < bounds[1] < bounds[2]
+
+
+def test_string_stability_check():
+    platoon = PlatoonModel(PlatoonConfig())
+    # generous headway: stable even on the measured field
+    assert platoon.string_stable(2.0, units.ms(61.0))
+    # tight headway: needs low latency
+    tight = 0.55
+    assert platoon.string_stable(tight, units.ms(1.0))
+    assert not platoon.string_stable(tight, units.ms(61.0))
+
+
+def test_capacity_gain_from_6g():
+    """Lane capacity at string-stable headway: 6G-class latency buys a
+    measurable capacity gain over the measured 5G field."""
+    platoon = PlatoonModel(PlatoonConfig())
+    gain = platoon.capacity_gain(rtt_old_s=units.ms(61.0),
+                                 rtt_new_s=units.ms(1.0))
+    assert 1.05 < gain < 2.0
+
+
+def test_disturbance_amplification():
+    platoon = PlatoonModel(PlatoonConfig(vehicles=8))
+    stable_gain = platoon.disturbance_amplification(2.0, units.ms(5.0))
+    assert stable_gain < 1.0
+    assert platoon.tail_error_factor(2.0, units.ms(5.0)) < 1.0
+    unstable_gain = platoon.disturbance_amplification(0.5, units.ms(61.0))
+    assert unstable_gain > 1.0
+    assert platoon.tail_error_factor(0.5, units.ms(61.0)) > \
+        unstable_gain   # grows along the string
+
+
+def test_v2x_validation():
+    with pytest.raises(ValueError):
+        PlatoonConfig(vehicles=1)
+    with pytest.raises(ValueError):
+        PlatoonConfig(cam_rate_hz=0.0)
+    platoon = PlatoonModel(PlatoonConfig())
+    with pytest.raises(ValueError):
+        platoon.min_stable_headway_s(-1.0)
+    with pytest.raises(ValueError):
+        platoon.string_stable(0.0, 1e-3)

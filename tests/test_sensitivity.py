@@ -1,0 +1,58 @@
+"""Tests for the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.core import KnobResult, SensitivityAnalysis
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return SensitivityAnalysis(seed=42, mean_positions_per_cell=2.0)
+
+
+@pytest.fixture(scope="module")
+def baseline(analysis):
+    return analysis.baseline()
+
+
+def test_baseline_matches_default_campaign(baseline):
+    assert 0.060 < baseline.mobile_mean_s < 0.090
+    assert baseline.scale == 1.0
+
+
+@pytest.mark.parametrize("knob", SensitivityAnalysis.KNOBS)
+def test_increasing_any_knob_increases_mean(analysis, baseline, knob):
+    """Every knob models a latency *cost*; scaling one up must not
+    reduce the field mean (monotone mechanism, not a fitted artifact)."""
+    result = analysis.run_knob(knob, 1.3)
+    assert result.mobile_mean_s >= baseline.mobile_mean_s - 1e-4
+
+
+def test_elasticities_are_moderate(analysis):
+    """No single knob dominates: all elasticities stay below 1.5, so a
+    20% calibration error moves the headline by far less than the
+    reproduction tolerance."""
+    for knob, value in analysis.elasticities(scale=1.2).items():
+        assert -0.1 < value < 1.5, knob
+
+
+def test_downscaling_reduces_mean(analysis, baseline):
+    result = analysis.run_knob("cgnat_load", 0.7)
+    assert result.mobile_mean_s < baseline.mobile_mean_s
+
+
+def test_unknown_knob_rejected(analysis):
+    with pytest.raises(KeyError):
+        analysis.run_knob("flux_capacitor", 1.1)
+
+
+def test_elasticity_requires_perturbation(baseline):
+    with pytest.raises(ValueError):
+        baseline.elasticity(baseline)
+
+
+def test_sweep_shape(analysis):
+    sweep = analysis.sweep(scales=(0.9, 1.1))
+    assert set(sweep) == set(SensitivityAnalysis.KNOBS)
+    for results in sweep.values():
+        assert [r.scale for r in results] == [0.9, 1.1]

@@ -1,0 +1,202 @@
+"""Tests for deterministic RNG streams and monitors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import RngRegistry, SeriesMonitor, TimeWeightedMonitor
+from repro.sim.rng import stable_seed
+
+
+# ---------------------------------------------------------------------------
+# RngRegistry
+# ---------------------------------------------------------------------------
+
+def test_same_name_same_sequence():
+    a = RngRegistry(seed=7).stream("channel", "C1")
+    b = RngRegistry(seed=7).stream("channel", "C1")
+    assert np.array_equal(a.random(16), b.random(16))
+
+
+def test_different_names_differ():
+    reg = RngRegistry(seed=7)
+    a = reg.fresh("channel", "C1")
+    b = reg.fresh("channel", "C2")
+    assert not np.array_equal(a.random(16), b.random(16))
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x")
+    b = RngRegistry(seed=2).stream("x")
+    assert not np.array_equal(a.random(16), b.random(16))
+
+
+def test_stream_is_cached_and_stateful():
+    reg = RngRegistry(seed=3)
+    s1 = reg.stream("mob")
+    first = s1.random(4)
+    s2 = reg.stream("mob")
+    assert s1 is s2
+    # continues the sequence rather than restarting
+    assert not np.array_equal(first, s2.random(4))
+
+
+def test_creation_order_does_not_matter():
+    reg1 = RngRegistry(seed=11)
+    a1 = reg1.stream("a").random(8)
+    b1 = reg1.stream("b").random(8)
+
+    reg2 = RngRegistry(seed=11)
+    b2 = reg2.stream("b").random(8)
+    a2 = reg2.stream("a").random(8)
+
+    assert np.array_equal(a1, a2)
+    assert np.array_equal(b1, b2)
+
+
+def test_spawn_creates_independent_namespace():
+    reg = RngRegistry(seed=5)
+    child = reg.spawn("campaign", 0)
+    assert child.seed != reg.seed
+    # deterministic: same spawn path gives same child seed
+    assert reg.spawn("campaign", 0).seed == child.seed
+
+
+def test_empty_stream_name_rejected():
+    with pytest.raises(ValueError):
+        RngRegistry(seed=0).stream()
+
+
+def test_non_int_seed_rejected():
+    with pytest.raises(TypeError):
+        RngRegistry(seed="42")  # type: ignore[arg-type]
+
+
+def test_stable_seed_is_stable():
+    assert stable_seed("a", 1, 2.5) == stable_seed("a", 1, 2.5)
+    assert stable_seed("a") != stable_seed("b")
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=4))
+def test_stable_seed_in_64bit_range(parts):
+    s = stable_seed(*parts)
+    assert 0 <= s < 2 ** 64
+
+
+def test_stable_seed_no_separator_collision():
+    # "ab"+"c" must differ from "a"+"bc"
+    assert stable_seed("ab", "c") != stable_seed("a", "bc")
+
+
+# ---------------------------------------------------------------------------
+# SeriesMonitor
+# ---------------------------------------------------------------------------
+
+def test_series_monitor_summary():
+    mon = SeriesMonitor("rtt")
+    for t, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+        mon.record(float(t), v)
+    s = mon.summary()
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.minimum == 1.0 and s.maximum == 4.0
+    assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+
+def test_series_monitor_empty_summary_is_nan():
+    s = SeriesMonitor().summary()
+    assert s.count == 0
+    assert math.isnan(s.mean)
+
+
+def test_series_monitor_growth_beyond_initial_capacity():
+    mon = SeriesMonitor()
+    n = 10_000
+    mon.extend(np.arange(n, dtype=float), np.arange(n, dtype=float))
+    assert mon.count == n
+    assert mon.summary().maximum == n - 1
+
+
+def test_series_monitor_extend_shape_mismatch():
+    mon = SeriesMonitor()
+    with pytest.raises(ValueError):
+        mon.extend(np.zeros(3), np.zeros(4))
+
+
+def test_series_monitor_views_are_readonly():
+    mon = SeriesMonitor()
+    mon.record(0.0, 1.0)
+    with pytest.raises(ValueError):
+        mon.values[0] = 99.0
+
+
+def test_fraction_below():
+    mon = SeriesMonitor()
+    mon.extend(np.zeros(10), np.arange(10, dtype=float))
+    assert mon.fraction_below(5.0) == pytest.approx(0.5)
+    assert mon.fraction_below(0.0) == 0.0
+    assert mon.fraction_below(100.0) == 1.0
+
+
+def test_fraction_below_empty_raises():
+    with pytest.raises(ValueError):
+        SeriesMonitor().fraction_below(1.0)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_series_monitor_matches_numpy(values):
+    mon = SeriesMonitor()
+    for i, v in enumerate(values):
+        mon.record(float(i), v)
+    s = mon.summary()
+    assert s.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+    assert s.minimum == min(values)
+    assert s.maximum == max(values)
+
+
+# ---------------------------------------------------------------------------
+# TimeWeightedMonitor
+# ---------------------------------------------------------------------------
+
+def test_time_weighted_mean_simple():
+    mon = TimeWeightedMonitor(initial=0.0)
+    mon.update(10.0, 1.0)   # 0 for 10s
+    mon.update(20.0, 0.0)   # 1 for 10s
+    assert mon.mean() == pytest.approx(0.5)
+
+
+def test_time_weighted_mean_with_until_extension():
+    mon = TimeWeightedMonitor(initial=2.0)
+    mon.update(5.0, 4.0)    # 2 for 5s
+    # then 4 until t=15 -> mean = (2*5 + 4*10)/15 = 50/15
+    assert mon.mean(until=15.0) == pytest.approx(50.0 / 15.0)
+
+
+def test_time_weighted_std_constant_signal_is_zero():
+    mon = TimeWeightedMonitor(initial=3.0)
+    mon.update(5.0, 3.0)
+    mon.update(9.0, 3.0)
+    assert mon.std() == pytest.approx(0.0, abs=1e-12)
+
+
+def test_time_weighted_min_max_track_extremes():
+    mon = TimeWeightedMonitor(initial=5.0)
+    mon.update(1.0, -2.0)
+    mon.update(2.0, 11.0)
+    assert mon.minimum == -2.0
+    assert mon.maximum == 11.0
+
+
+def test_time_going_backwards_rejected():
+    mon = TimeWeightedMonitor()
+    mon.update(5.0, 1.0)
+    with pytest.raises(ValueError):
+        mon.update(4.0, 2.0)
+
+
+def test_mean_before_any_update_returns_current():
+    mon = TimeWeightedMonitor(initial=7.0)
+    assert mon.mean() == 7.0

@@ -1,0 +1,74 @@
+"""Unit tests for unit conversions and propagation constants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_time_round_trips():
+    assert units.to_ms(units.ms(42.0)) == pytest.approx(42.0)
+    assert units.to_us(units.us(100.0)) == pytest.approx(100.0)
+
+
+def test_time_constants_ordering():
+    assert units.NS < units.US < units.MS < units.SECOND
+    assert units.SECOND < units.MINUTE < units.HOUR < units.DAY
+
+
+def test_distance_round_trip():
+    assert units.to_km(units.km(2544.0)) == pytest.approx(2544.0)
+
+
+def test_data_rate_conversions():
+    assert units.tbps(1.0) == 1e12
+    assert units.gbps(1.0) == 1e9
+    assert units.to_mbps(units.mbps(250.0)) == pytest.approx(250.0)
+
+
+def test_bytes_to_bits():
+    assert units.bytes_(1.0) == 8.0
+    # 4 TB/day autonomous-vehicle figure from the paper, in bits
+    assert units.to_tb(4 * units.TB) == pytest.approx(4.0)
+
+
+def test_fibre_delay_rule_of_thumb():
+    # ~5 us per km (within 2%)
+    d = units.fibre_delay(units.km(1.0))
+    assert d == pytest.approx(5e-6, rel=0.02)
+
+
+def test_fibre_slower_than_radio():
+    assert units.fibre_delay(1000.0) > units.radio_delay(1000.0)
+
+
+def test_vienna_bucharest_order_of_magnitude():
+    # ~850 km one way -> ~4.2 ms in fibre
+    delay = units.fibre_delay(units.km(850.0))
+    assert 3.5e-3 < delay < 5.0e-3
+
+
+def test_transmission_delay():
+    # 1500-byte packet at 1 Gbps: 12 us
+    d = units.transmission_delay(units.bytes_(1500), units.gbps(1.0))
+    assert d == pytest.approx(12e-6)
+
+
+def test_transmission_delay_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        units.transmission_delay(100.0, 0.0)
+    with pytest.raises(ValueError):
+        units.transmission_delay(-1.0, 1e9)
+
+
+@given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+def test_fibre_delay_monotone_nonnegative(distance):
+    assert units.fibre_delay(distance) >= 0.0
+
+
+@given(st.floats(min_value=1e-3, max_value=1e12),
+       st.floats(min_value=1e3, max_value=1e13))
+def test_transmission_delay_scales_linearly(size, rate):
+    base = units.transmission_delay(size, rate)
+    assert units.transmission_delay(2 * size, rate) == pytest.approx(2 * base)
+    assert units.transmission_delay(size, 2 * rate) == pytest.approx(base / 2)
