@@ -1,118 +1,49 @@
 #!/usr/bin/env python
-"""A second-city campaign built from the library's public API.
+"""A second-city campaign built from the declarative scenario API.
 
 The paper's future work: "expand the geographical scope of the
-evaluation to include diverse regions".  This example builds a
-from-scratch evaluation for a Skopje-like city (the co-authors'
-institution) using only public components — grid, population, radio,
-AS topology, campaign — demonstrating that the Klagenfurt scenario is
-an *instance*, not a hard-coded special case.
+evaluation to include diverse regions".  This example used to hand-wire
+~100 lines of grid, population, radio, AS-graph, and campaign objects;
+the ``repro.scenarios`` spec API reduces it to *data*: take the
+registered Skopje-like spec, apply overrides, and compile — the
+Klagenfurt scenario is an *instance*, not a hard-coded special case.
 
 The second city differs deliberately: a smaller 5x5 grid, a single
-regional breakout (no Frankfurt pool), flatter congestion — and its
-campaign still exhibits the paper's qualitative structure (mobile RTL
-far above the 20 ms budget, border cells masked).
+regional breakout in Sofia (no Frankfurt pool), flatter congestion —
+and its campaign still exhibits the paper's qualitative structure
+(mobile RTL far above the 20 ms budget).
 
 Run:  python examples/second_city.py
 """
 
-import numpy as np
+from dataclasses import replace
 
 from repro import units
-from repro.cn import SiteTier, UserPlaneFunction
 from repro.core import GapAnalysis, render_grid_heatmap
-from repro.geo import CellId, DriveTestRoute, GeoPoint, Grid
-from repro.geo.population import RadialPopulationModel
-from repro.net import (
-    ASGraph,
-    ASKind,
-    AutonomousSystem,
-    Node,
-    NodeKind,
-    RouteComputer,
-    Topology,
-)
-from repro.probes import CampaignConfig, CellStatistics, DriveTestCampaign
-from repro.probes.campaign import Gateway, MobilePeer
-from repro.ran import ChannelModel, GNodeB, RadioConfig, RadioNetwork
-from repro.sim import RngRegistry
-
-SKOPJE = GeoPoint(41.9981, 21.4254)
-SOFIA = GeoPoint(42.6977, 23.3219)     # the regional breakout city
+from repro.probes import CellStatistics
+from repro.scenarios import build, skopje
 
 
 def build_city(seed: int = 7):
-    rng = RngRegistry(seed)
-    grid = Grid(origin=GeoPoint(42.020, 21.395), cell_size_m=1000.0,
-                cols=5, rows=5)
-    population = RadialPopulationModel(
-        grid.point_in_cell(CellId.from_label("C3"), 0.5, 0.5),
-        core_density=5200.0, scale_m=1800.0, floor=60.0)
-    traversed = [c for c in grid.cells()
-                 if population.cell_density(grid, c) >= 1000.0]
-
-    # Radio: four macro sites.
-    config = RadioConfig.nr_5g()
-    channel = ChannelModel(config.carrier_frequency_hz,
-                           antenna_gain_db=28.0, seed=seed)
-    radio = RadioNetwork(channel, [
-        GNodeB(f"gnb-{label.lower()}", grid.cell_center(
-            CellId.from_label(label)), config, load=0.60)
-        for label in ("B2", "D2", "B4", "D4")])
-
-    # Internet: mobile AS breaks out in Sofia; the local eyeball hangs
-    # off a regional transit — the same hairpin structure, new geography.
-    topo = Topology("skopje")
-    asg = ASGraph()
-    asg.add(AutonomousSystem(100, "mobile-mk", kind=ASKind.MOBILE_ISP))
-    asg.add(AutonomousSystem(200, "balkan-transit", kind=ASKind.TRANSIT))
-    asg.add(AutonomousSystem(300, "eyeball-mk", kind=ASKind.ACCESS_ISP))
-    asg.set_customer_of(100, 200)
-    asg.set_customer_of(300, 200)
-    gw = topo.add_node(Node("gw-sofia", NodeKind.GATEWAY, SOFIA, asn=100))
-    tr = topo.add_node(Node("tr-sofia", NodeKind.ROUTER,
-                            GeoPoint(42.70, 23.33), asn=200))
-    eye = topo.add_node(Node("eye-skp", NodeKind.ROUTER, SKOPJE, asn=300))
-    probe = topo.add_node(Node("probe-skp", NodeKind.PROBE,
-                               grid.cell_center(CellId.from_label("C3")),
-                               asn=300))
-    topo.connect(gw, tr, rate_bps=units.gbps(100.0), utilisation=0.3)
-    topo.connect(tr, eye, rate_bps=units.gbps(40.0), utilisation=0.35)
-    topo.connect(eye, probe, rate_bps=units.gbps(1.0), utilisation=0.2)
-    routes = RouteComputer(topo, asg)
-
-    gateway = Gateway("sofia", "gw-sofia", UserPlaneFunction(
-        name="upf-sofia", location=SOFIA, tier=SiteTier.REGIONAL_CORE,
-        pipeline_s=1.0e-3, rule_count=20_000, load=0.6))
-    peers = {f"peer-{i}": MobilePeer(f"peer-{i}", air_load=0.62)
-             for i in range(1, 9)}
-    config_c = CampaignConfig(
-        targets={},
-        gateways={"sofia": gateway},
-        default_gateway="sofia",
-        peers=peers,
-        default_targets=tuple(peers) + ("probe-skp",),
-        cell_extra_load={c: float(rng.stream("load").uniform(0.05, 0.2))
-                         for c in traversed},
+    # Spec-level what-if: densify the urban core and quieten the
+    # congestion field — overrides are plain dataclass edits, no
+    # object wiring.
+    spec = skopje()
+    spec = spec.override(
+        population=replace(spec.population, core_density=6000.0),
+        campaign=replace(spec.campaign, extra_load_range=(0.02, 0.14)),
     )
-    route = DriveTestRoute(grid, traversed, rng.stream("route"),
-                           mean_samples_per_cell=6.0, min_samples=2)
-    campaign = DriveTestCampaign(grid=grid, route=route, radio=radio,
-                                 routes=routes, config=config_c, rng=rng)
-    return grid, campaign, routes
+    return build(spec, seed=seed)
 
 
 def main() -> None:
-    grid, campaign, routes = build_city()
-    dataset = campaign.run()
-    stats = CellStatistics(grid, dataset)
-    from repro.probes.ping import ping
-    wired = ping(routes, "probe-skp", "eye-skp",
-                 RngRegistry(9).stream("wired"), count=30)
-    gap = GapAnalysis().report(stats, wired * 8)   # scale LAN ping to a
-    # realistic wired-metro baseline for the comparison
+    city = build_city()
+    dataset = city.run_campaign(6.0)
+    stats = CellStatistics(city.grid, dataset)
+    wired = city.wired_baseline(count=30)
+    gap = GapAnalysis().report(stats, wired)
 
-    print(render_grid_heatmap(grid, stats.mean_matrix_ms(),
+    print(render_grid_heatmap(city.grid, stats.mean_matrix_ms(),
                               title="Skopje-like city: mean RTL"))
     print()
     print(f"samples: {len(dataset)}, measured cells: "

@@ -10,6 +10,7 @@ Subpackages:
 * :mod:`repro.cn` — 5G/6G core network (UPF, QoS, slicing, O-RAN hooks)
 * :mod:`repro.probes` — measurement framework (drive-test campaign)
 * :mod:`repro.apps` — application workloads (AR game, IoT, domains)
+* :mod:`repro.scenarios` — declarative scenario specs + the compiler
 * :mod:`repro.core` — the paper's analysis: scenario, evaluation, remedies
 
 Quickstart::
@@ -18,6 +19,19 @@ Quickstart::
     result = InfrastructureEvaluation(seed=42).run()
     print(result.figure2())
     print(result.gap.summary())
+
+Scenarios are serializable data compiled by one engine — any registered
+city (or a JSON-loaded spec) runs through the same pipeline::
+
+    from repro.scenarios import build, klagenfurt
+
+    scenario = build(klagenfurt(), seed=42)   # == KlagenfurtScenario(42)
+    print(scenario.reference_trace().render_table())
+
+    result = InfrastructureEvaluation(seed=42, scenario="skopje").run()
+
+or from the command line: ``python -m repro evaluate --scenario skopje``
+(``python -m repro scenarios`` lists the registry).
 """
 
 from . import units

@@ -3,7 +3,9 @@
 Commands
 --------
 evaluate      run the Section IV campaign, print Fig. 2/3, Table I and
-              the gap analysis
+              the gap analysis (``--scenario NAME`` or ``--spec FILE``
+              picks the world; default klagenfurt)
+scenarios     list registered scenarios, or dump one as JSON
 peering       run the Section V-A local-peering what-if
 upf           run the Section V-B UPF placement comparison
 cpf           run the Section V-C control-plane comparison
@@ -16,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import units
+from . import scenarios, units
 from .apps import all_profiles
 from .core import (
     CpfEnhancementStudy,
@@ -32,13 +34,51 @@ from .core import (
 )
 
 
+def _resolve_spec(args: argparse.Namespace):
+    """The selected spec, or a clean CLI error for bad user input."""
+    try:
+        if args.spec:
+            return scenarios.load_spec(args.spec)
+        return scenarios.get(args.scenario)
+    except (KeyError, OSError, TypeError, ValueError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"error: {message}", file=sys.stderr)
+        return None
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    result = InfrastructureEvaluation(seed=args.seed).run()
+    scenario = _resolve_spec(args)
+    if scenario is None:
+        return 2
+    result = InfrastructureEvaluation(seed=args.seed,
+                                      scenario=scenario).run()
     print(result.figure2(), end="\n\n")
     print(result.figure3(), end="\n\n")
     print(result.table1(), end="\n\n")
     print(f"Fig. 4 detour: {result.figure4_km():.0f} km\n")
     print(result.gap.summary())
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.scenario != "klagenfurt" or args.spec or args.json:
+        # Dump one spec as JSON (default scenario name only with --json).
+        spec = _resolve_spec(args)
+        if spec is None:
+            return 2
+        print(spec.to_json())
+        return 0
+    rows = []
+    for name in scenarios.names():
+        spec = scenarios.get(name)
+        rows.append([name, f"{spec.grid.cols}x{spec.grid.rows}",
+                     len(spec.radio.sites), len(spec.systems),
+                     len(spec.nodes), spec.description])
+    print(render_comparison_table(
+        ["scenario", "grid", "sites", "ASes", "nodes", "description"],
+        rows, title="Registered scenarios"))
+    print("\nrun one:  python -m repro evaluate --scenario NAME")
+    print("export:   python -m repro scenarios --scenario NAME --json")
     return 0
 
 
@@ -108,6 +148,7 @@ def cmd_upgrade(args: argparse.Namespace) -> int:
 
 COMMANDS = {
     "evaluate": cmd_evaluate,
+    "scenarios": cmd_scenarios,
     "peering": cmd_peering,
     "upf": cmd_upf,
     "cpf": cmd_cpf,
@@ -124,6 +165,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="which experiment to run")
     parser.add_argument("--seed", type=int, default=42,
                         help="scenario seed (default 42)")
+    parser.add_argument("--scenario", default="klagenfurt",
+                        help="registered scenario name (default "
+                             "klagenfurt); see the scenarios command")
+    parser.add_argument("--spec", default="",
+                        help="path to a ScenarioSpec JSON file "
+                             "(overrides --scenario)")
+    parser.add_argument("--json", action="store_true",
+                        help="with scenarios: dump the selected spec "
+                             "as JSON")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

@@ -3,20 +3,26 @@
 :class:`InfrastructureEvaluation` is the facade an end user (and every
 figure bench) goes through: build the scenario, run the drive test,
 aggregate per cell, compute the gap report, and render the figures.
+Any compiled :class:`~repro.scenarios.build.BuiltScenario` works — pass
+a registered scenario name (``"klagenfurt"``, ``"skopje"``, ...), a
+:class:`~repro.scenarios.spec.ScenarioSpec`, or a pre-built scenario.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..probes.results import MeasurementDataset
 from ..probes.stats import CellStatistics
+from ..scenarios import build as compile_spec
+from ..scenarios import get as get_spec
+from ..scenarios.build import BuiltScenario
+from ..scenarios.spec import ScenarioSpec
 from .gap import GapAnalysis, GapReport
 from .report import render_grid_heatmap
-from .scenario import KlagenfurtScenario
 
 __all__ = ["EvaluationResult", "InfrastructureEvaluation"]
 
@@ -25,7 +31,7 @@ __all__ = ["EvaluationResult", "InfrastructureEvaluation"]
 class EvaluationResult:
     """Everything Section IV produces."""
 
-    scenario: KlagenfurtScenario
+    scenario: BuiltScenario
     dataset: MeasurementDataset
     statistics: CellStatistics
     wired_rtts_s: np.ndarray
@@ -85,20 +91,43 @@ class EvaluationResult:
 
 
 class InfrastructureEvaluation:
-    """Builds and runs the whole Section IV pipeline."""
+    """Builds and runs the whole Section IV pipeline for any scenario.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of every stochastic component.
+    mean_positions_per_cell:
+        Drive-test sampling density.
+    scenario:
+        Which world to evaluate: a registered scenario name or a
+        :class:`ScenarioSpec`.  Defaults to Klagenfurt, preserving the
+        paper's Section IV pipeline exactly.
+    """
 
     def __init__(self, seed: int = 42,
-                 mean_positions_per_cell: float = 6.0):
+                 mean_positions_per_cell: float = 6.0,
+                 scenario: Union[str, ScenarioSpec] = "klagenfurt"):
         if mean_positions_per_cell <= 0:
             raise ValueError("positions per cell must be positive")
         self.seed = seed
         self.mean_positions_per_cell = mean_positions_per_cell
+        self.scenario = scenario
 
-    def run(self, scenario: Optional[KlagenfurtScenario] = None
+    def build_scenario(self) -> BuiltScenario:
+        """Compile the configured spec (or look up the named one)."""
+        spec = self.scenario if isinstance(self.scenario, ScenarioSpec) \
+            else get_spec(self.scenario)
+        return compile_spec(spec, seed=self.seed)
+
+    def run(self, scenario: Optional[BuiltScenario] = None
             ) -> EvaluationResult:
-        """Execute the campaign and derive all artifacts."""
-        sc = scenario if scenario is not None \
-            else KlagenfurtScenario(seed=self.seed)
+        """Execute the campaign and derive all artifacts.
+
+        An explicitly passed pre-built ``scenario`` wins over the
+        configured name/spec.
+        """
+        sc = scenario if scenario is not None else self.build_scenario()
         dataset = sc.run_campaign(self.mean_positions_per_cell)
         stats = sc.statistics(dataset)
         wired = sc.wired_baseline()

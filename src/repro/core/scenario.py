@@ -1,6 +1,16 @@
-"""The Klagenfurt evaluation scenario (Section IV-B).
+"""The Klagenfurt evaluation scenario (Section IV-B) — a compiled instance.
 
-Builds the complete simulated world the campaign runs in:
+.. note::
+   This module is now a thin compatibility wrapper.  The world it used
+   to hand-wire imperatively lives as *data* in the declarative spec
+   factory :func:`repro.scenarios.klagenfurt.klagenfurt`, and the
+   construction itself in the generic compiler
+   :func:`repro.scenarios.build` — ``KlagenfurtScenario(seed)`` is
+   exactly ``build(klagenfurt(), seed)`` plus the historical attribute
+   names.  New code should use the spec API directly; it works for any
+   registered or JSON-loaded city, not just Klagenfurt.
+
+The compiled world (see :mod:`repro.scenarios.klagenfurt` for the data):
 
 * the 6x7 grid of 1 km cells around the University of Klagenfurt, with
   the university's RIPE-Atlas-style probe in cell **E3** and the
@@ -8,16 +18,10 @@ Builds the complete simulated world the campaign runs in:
 * a synthetic population raster whose >= 1000 inhabitants/km2 cells are
   the 33 traversed cells (border cells fall below and end up masked);
 * a six-AS internet reproducing the Table I hop chain and the Fig. 4
-  Vienna-Prague-Bucharest-Vienna detour: the mobile operator's user
-  plane breaks out in Vienna, its transit (DataPacket/CDN77) reaches
-  the Klagenfurt eyeball ISP (ascus.at) only through a Prague peering
-  and a Bucharest-based upstream of the eyeball's transit — the kind of
-  cost-driven transit chain that produces geographically absurd paths;
-* the operator's radio layer: six FR1 macro sites on a lattice across
-  the grid;
-* per-cell calibration knobs (documented below) anchoring the published
-  extremes: C1 = min mean, C3 = max mean, B3 = min sigma, E5 = max
-  sigma.
+  Vienna-Prague-Bucharest-Vienna detour;
+* the operator's radio layer: six FR1 macro sites on a lattice;
+* per-cell calibration knobs anchoring the published extremes:
+  C1 = min mean, C3 = max mean, B3 = min sigma, E5 = max sigma.
 
 Calibration knobs and their physical meaning:
 
@@ -37,82 +41,33 @@ Calibration knobs and their physical meaning:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
-from .. import units
-from ..cn.nf import SiteTier
-from ..cn.upf import UserPlaneFunction
-from ..geo.coords import GeoPoint
-from ..geo.grid import CellId, Grid
-from ..geo.mobility import DriveTestRoute
-from ..geo.places import BUCHAREST, FRANKFURT, GRAZ, PLACES, PRAGUE, VIENNA
-from ..geo.population import RadialPopulationModel
-from ..net.address import IPv4Address
-from ..net.asn import ASGraph, ASKind, AutonomousSystem
-from ..net.link import LinkKind
-from ..net.node import Node, NodeKind
-from ..net.routing import RouteComputer
-from ..net.topology import Topology
-from ..net.traceroute import TracerouteResult, traceroute
-from ..probes.atlas import Probe, ProbeKind, ProbeRegistry
-from ..probes.campaign import (
-    CampaignConfig,
-    DriveTestCampaign,
-    Gateway,
-    MobilePeer,
-)
-from ..probes.ping import ping
-from ..probes.results import MeasurementDataset
-from ..probes.stats import CellStatistics
-from ..ran.channel import ChannelModel
-from ..ran.gnb import GNodeB, RadioNetwork
+from ..geo.grid import CellId
 from ..ran.spectrum import RadioConfig
-from ..sim.rng import RngRegistry
+from ..scenarios.build import BuiltScenario
+from ..scenarios.klagenfurt import (
+    ANCHOR_EXTRA_LOAD,
+    ANCHOR_HANDOVER_PROB,
+    AS_CLOUD,
+    AS_EYEBALL,
+    AS_IX_TRANSIT,
+    AS_MOBILE,
+    AS_NREN,
+    AS_PEERING_CZ,
+    AS_TRANSIT,
+    AS_ZET,
+    HANDOVER_INTERRUPTION_S,
+    klagenfurt,
+)
 
 __all__ = ["KlagenfurtScenario", "AS_MOBILE", "AS_TRANSIT", "AS_PEERING_CZ",
-           "AS_ZET", "AS_IX_TRANSIT", "AS_EYEBALL", "AS_CLOUD", "AS_NREN"]
-
-# AS numbers (the real operators' ASNs where known from Table I).
-AS_MOBILE = 8447        #: the mobile operator (A1-like)
-AS_TRANSIT = 60068      #: DataPacket / CDN77
-AS_PEERING_CZ = 61414   #: zetservers @ peering.cz (Prague)
-AS_ZET = 39737          #: zet.net / amanet (Bucharest)
-AS_IX_TRANSIT = 39912   #: the Vienna-IX transit of the eyeball
-AS_EYEBALL = 42473      #: ascus.at (Klagenfurt access ISP)
-AS_CLOUD = 61098        #: Exoscale-like cloud (Vienna)
-AS_NREN = 1853          #: ACOnet (Austrian NREN)
-
-#: Grid geometry: university probe in E3, per Section IV-B.
-_M_PER_DEG_LAT = 111_194.9
-UNI = PLACES["university_klagenfurt"]
-
-#: Default per-cell congestion on top of the site base load.  The
-#: spatial field is seeded (stream "scenario.load") so the full
-#: campaign remains a pure function of the scenario seed; the anchor
-#: cells get explicit values.
-ANCHOR_EXTRA_LOAD: dict[str, float] = {
-    "C1": -0.01,   # the quietest measured cell -> 61 ms mean
-    "C3": 0.33,    # the most congested cell -> 110 ms mean (see also
-                   # its dedicated rush-hour peer set below)
-    "B3": -0.34,   # nearly idle residential cell (load ~0.21)
-    "E5": 0.135,   # moderately loaded, but see handover_prob
-    "C2": 0.16,    # the Table I mobile node's cell (~65 ms to the probe)
-    "C5": 0.18,    # arterial through-traffic keeps C5 off the minimum
-}
-
-#: Handover-interruption probability per measurement window.
-ANCHOR_HANDOVER_PROB: dict[str, float] = {
-    "E5": 0.35,    # coverage boundary: frequent interruptions
-}
-
-#: Interruption magnitude: handover plus occasional RRC re-establishment.
-HANDOVER_INTERRUPTION_S: float = 130e-3
+           "AS_ZET", "AS_IX_TRANSIT", "AS_EYEBALL", "AS_CLOUD", "AS_NREN",
+           "ANCHOR_EXTRA_LOAD", "ANCHOR_HANDOVER_PROB",
+           "HANDOVER_INTERRUPTION_S"]
 
 
-class KlagenfurtScenario:
+class KlagenfurtScenario(BuiltScenario):
     """Fully built evaluation world; see module docstring.
 
     Parameters
@@ -131,407 +86,8 @@ class KlagenfurtScenario:
     def __init__(self, seed: int = 42, *,
                  radio_config: Optional[RadioConfig] = None,
                  edge_breakout: bool = False):
-        self.seed = seed
-        self.rng = RngRegistry(seed)
-        self._radio_config_override = radio_config
+        super().__init__(klagenfurt(radio_config=radio_config,
+                                    edge_breakout=edge_breakout), seed)
         self.edge_breakout = edge_breakout
-        self._build_grid()
-        self._build_population()
-        self._build_radio()
-        self._build_internet()
-        self._build_probes()
-        self._build_campaign_config()
-
-    # ------------------------------------------------------------------
-    # geography
-    # ------------------------------------------------------------------
-
-    def _build_grid(self) -> None:
-        m_per_deg_lon = _M_PER_DEG_LAT * float(
-            np.cos(np.radians(UNI.lat)))
-        # University at the centre of E3 (col 4, row 2).
-        origin = GeoPoint(
-            UNI.lat + 2.5 * 1000.0 / _M_PER_DEG_LAT,
-            UNI.lon - 4.5 * 1000.0 / m_per_deg_lon,
-        )
-        self.grid = Grid(origin=origin, cell_size_m=1000.0, cols=6, rows=7)
         self.cell_c2 = CellId.from_label("C2")
         self.cell_e3 = CellId.from_label("E3")
-
-    def _build_population(self) -> None:
-        # Urban core between the university and the city centre; the
-        # scale is calibrated so exactly 33 cells clear the paper's
-        # 1000 /km2 threshold (the other 9 are border cells).
-        centre = self.grid.point_in_cell(CellId.from_label("D4"), 0.3, 0.3)
-        self.population = RadialPopulationModel(
-            centre, core_density=4200.0, scale_m=2250.0, floor=40.0)
-        self.traversed_cells = [
-            cell for cell in self.grid.cells()
-            if self.population.cell_density(self.grid, cell) >= 1000.0]
-        self.masked_cells = [cell for cell in self.grid.cells()
-                             if cell not in set(self.traversed_cells)]
-
-    # ------------------------------------------------------------------
-    # radio layer
-    # ------------------------------------------------------------------
-
-    #: macro-site anchor cells (lattice across the grid)
-    _SITE_CELLS = ("B2", "D2", "F2", "B5", "D5", "F5")
-    _SITE_BASE_LOAD = 0.55
-
-    def _build_radio(self) -> None:
-        self.radio_config = (self._radio_config_override
-                             if self._radio_config_override is not None
-                             else RadioConfig.nr_5g())
-        # 64T64R massive-MIMO beamforming gain keeps 1 km macro-cell
-        # UEs at working SINR (without it the whole grid sits at the
-        # cell edge and HARQ dominates every sample).
-        self.channel = ChannelModel(
-            self.radio_config.carrier_frequency_hz,
-            antenna_gain_db=28.0, shadowing_sigma_db=4.0, seed=self.seed)
-        gnbs = []
-        for label in self._SITE_CELLS:
-            cell = CellId.from_label(label)
-            gnbs.append(GNodeB(
-                name=f"gnb-{label.lower()}",
-                location=self.grid.cell_center(cell),
-                config=self.radio_config,
-                load=self._SITE_BASE_LOAD,
-            ))
-        self.radio = RadioNetwork(self.channel, gnbs)
-
-    # ------------------------------------------------------------------
-    # internet topology + policy
-    # ------------------------------------------------------------------
-
-    def _build_internet(self) -> None:
-        topo = Topology("klagenfurt-internet")
-        asg = ASGraph()
-
-        def system(asn, name, kind, ptr=""):
-            asg.add(AutonomousSystem(asn, name, kind=kind, ptr_template=ptr))
-
-        system(AS_MOBILE, "mobile-at", ASKind.MOBILE_ISP)
-        system(AS_TRANSIT, "datapacket", ASKind.CDN)
-        system(AS_PEERING_CZ, "zetservers", ASKind.HOSTING)
-        system(AS_ZET, "zet-amanet", ASKind.HOSTING)
-        system(AS_IX_TRANSIT, "as39912", ASKind.TRANSIT)
-        system(AS_EYEBALL, "ascus", ASKind.ACCESS_ISP)
-        system(AS_CLOUD, "exoscale", ASKind.CLOUD)
-        system(AS_NREN, "aconet", ASKind.EDUCATION)
-
-        # Gao-Rexford relationships producing the Table I chain.
-        asg.set_customer_of(AS_MOBILE, AS_TRANSIT)
-        asg.set_peers(AS_TRANSIT, AS_PEERING_CZ)          # Prague peering
-        asg.set_customer_of(AS_ZET, AS_PEERING_CZ)
-        asg.set_customer_of(AS_IX_TRANSIT, AS_ZET)        # Bucharest upstream
-        asg.set_customer_of(AS_EYEBALL, AS_IX_TRANSIT)
-        asg.set_customer_of(AS_CLOUD, AS_TRANSIT)         # cloud transit
-        asg.set_peers(AS_NREN, AS_CLOUD)                  # VIX peering
-        if self.edge_breakout:
-            # The paper's V-A + V-B combination: the edge gateway peers
-            # with the local eyeball directly.
-            asg.set_peers(AS_MOBILE, AS_EYEBALL)
-
-        def node(name, kind, location, asn, addr=None, display="",
-                 forwarding=-1.0):
-            return topo.add_node(Node(
-                name=name, kind=kind, location=location, asn=asn,
-                address=IPv4Address.parse(addr) if addr else None,
-                display_name=display, forwarding_delay_s=forwarding))
-
-        c2_centre = self.grid.cell_center(self.cell_c2)
-
-        # --- AS_MOBILE: UE representative + gateways -------------------
-        node("ue-c2", NodeKind.UE, c2_centre, AS_MOBILE,
-             addr="10.12.128.77", display="10.12.128.77")
-        node("gw-vie", NodeKind.GATEWAY, VIENNA, AS_MOBILE,
-             addr="10.12.128.1", display="10.12.128.1")
-        node("gw-fra", NodeKind.GATEWAY, FRANKFURT, AS_MOBILE,
-             addr="10.14.0.1", display="10.14.0.1")
-        # Edge breakout site (used when edge_breakout=True): user plane
-        # terminates in Klagenfurt, next to the probe's access network.
-        node("gw-kla", NodeKind.GATEWAY, GeoPoint(46.626, 14.306),
-             AS_MOBILE, addr="10.15.0.1", display="10.15.0.1")
-
-        # --- AS_TRANSIT: DataPacket/CDN77 ------------------------------
-        node("dp-vie", NodeKind.ROUTER, VIENNA, AS_TRANSIT,
-             addr="37.19.223.61",
-             display="unn-37-19-223-61.datapacket.com")
-        node("cdn77-vie", NodeKind.ROUTER, VIENNA, AS_TRANSIT,
-             addr="185.156.45.138",
-             display="vl204.vie-itx1-core-2.cdn77.com")
-        node("dp-fra", NodeKind.ROUTER, FRANKFURT, AS_TRANSIT,
-             addr="37.19.200.1",
-             display="unn-37-19-200-1.datapacket.com")
-
-        # --- AS_PEERING_CZ: zetservers @ peering.cz (Prague) ------------
-        node("zet-prg", NodeKind.ROUTER, PRAGUE, AS_PEERING_CZ,
-             addr="185.0.20.31", display="zetservers.peering.cz")
-
-        # --- AS_ZET: zet.net / amanet (Bucharest) -----------------------
-        node("zet-buh", NodeKind.ROUTER, BUCHAREST, AS_ZET,
-             addr="103.246.249.33", display="vie-dr2-cr1.zet.net")
-        node("amanet-buh", NodeKind.ROUTER, BUCHAREST, AS_ZET,
-             addr="185.104.63.33", display="amanet-cust.zet.net")
-
-        # --- AS_IX_TRANSIT: as39912 at the Vienna IX --------------------
-        node("ix-vie", NodeKind.ROUTER, VIENNA, AS_IX_TRANSIT,
-             addr="185.211.219.155",
-             display="ae2-97.mx204-1.ix.vie.at.as39912.net")
-
-        # --- AS_EYEBALL: ascus.at (Klagenfurt) --------------------------
-        kla_core = GeoPoint(46.628, 14.310)
-        node("ascus-core", NodeKind.ROUTER, kla_core, AS_EYEBALL,
-             addr="195.16.228.3", display="003-228-016-195.ascus.at")
-        node("ascus-access", NodeKind.ROUTER, GeoPoint(46.622, 14.296),
-             AS_EYEBALL, addr="195.16.246.180",
-             display="180-246-016-195.ascus.at")
-        node("probe-uni", NodeKind.PROBE,
-             self.grid.cell_center(self.cell_e3), AS_EYEBALL,
-             addr="195.140.139.133", display="195.140.139.133")
-
-        # --- AS_CLOUD + AS_NREN (wired baseline) -------------------------
-        node("cloud-vie", NodeKind.SERVER, PLACES["exoscale_vienna"],
-             AS_CLOUD, addr="194.182.160.10",
-             display="vie-1.exoscale-like.net")
-        node("uni-wired", NodeKind.SERVER, UNI, AS_NREN,
-             addr="143.205.1.10", display="atlas-anchor.uni-klu.ac.at")
-        # Campus edge: the deep-inspection firewall dominates the wired
-        # baseline's processing share (calibrated to the 7-12 ms of [3]).
-        node("uni-fw", NodeKind.ROUTER, UNI, AS_NREN,
-             addr="143.205.1.1", display="fw1.uni-klu.ac.at",
-             forwarding=2.3e-3)
-        node("acon-graz", NodeKind.ROUTER, GRAZ, AS_NREN,
-             addr="193.171.23.1", display="graz1.aco.net")
-        node("acon-vie", NodeKind.ROUTER, VIENNA, AS_NREN,
-             addr="193.171.23.33", display="vie1.aco.net")
-
-        # --- links -------------------------------------------------------
-        gbps = units.gbps
-        # Mobile operator user plane.  The UE-to-gateway link stands in
-        # for the RAN air interface + scheduler buffering + GTP tunnel of
-        # the C2 cell; its effective length is set to that leg's median
-        # RTT (~36 ms, what a mobile traceroute shows on hop 1).  The
-        # campaign itself models this leg with the radio stack instead,
-        # and the Fig. 4 geography uses node locations, not this length.
-        topo.connect("ue-c2", "gw-vie", rate_bps=gbps(10.0),
-                     length_m=units.km(3600.0))
-        # Frankfurt breakout rides the operator's long EU ring (via
-        # Amsterdam), hence the explicit tunnel length.
-        topo.connect("gw-vie", "gw-fra", rate_bps=gbps(100.0))
-        topo.connect("gw-vie", "gw-kla", rate_bps=gbps(100.0))
-        # The edge breakout peers directly with the local eyeball (the
-        # Sec. V-A + V-B combination the paper recommends).
-        topo.connect("gw-kla", "ascus-core", rate_bps=gbps(100.0))
-        topo.connect("gw-vie", "dp-vie", rate_bps=gbps(100.0),
-                     utilisation=0.30)
-        topo.connect("gw-fra", "dp-fra", rate_bps=gbps(100.0),
-                     length_m=units.km(1300.0), utilisation=0.20)
-        # Transit internals.
-        topo.connect("dp-vie", "cdn77-vie", rate_bps=gbps(100.0),
-                     kind=LinkKind.VIRTUAL, length_m=2_000.0,
-                     utilisation=0.35)
-        topo.connect("dp-fra", "cdn77-vie", rate_bps=gbps(100.0),
-                     utilisation=0.25)
-        # Prague peering (CDN77 reaches peering.cz remotely from Vienna).
-        topo.connect("cdn77-vie", "zet-prg", rate_bps=gbps(100.0),
-                     utilisation=0.30)
-        # zetservers -> Bucharest customer.
-        topo.connect("zet-prg", "zet-buh", rate_bps=gbps(40.0),
-                     utilisation=0.35)
-        topo.connect("zet-buh", "amanet-buh", rate_bps=gbps(40.0),
-                     kind=LinkKind.VIRTUAL, length_m=2_000.0,
-                     utilisation=0.30)
-        # Bucharest upstream -> Vienna IX presence of as39912.
-        topo.connect("amanet-buh", "ix-vie", rate_bps=gbps(40.0),
-                     utilisation=0.35)
-        # Eyeball transit + access chain down to the probe.
-        topo.connect("ix-vie", "ascus-core", rate_bps=gbps(40.0),
-                     utilisation=0.30)
-        topo.connect("ascus-core", "ascus-access", rate_bps=gbps(10.0),
-                     utilisation=0.40)
-        topo.connect("ascus-access", "probe-uni", rate_bps=gbps(1.0),
-                     utilisation=0.20)
-        # Cloud attachment + NREN chain.
-        topo.connect("cloud-vie", "dp-vie", rate_bps=gbps(100.0),
-                     utilisation=0.25)
-        topo.connect("uni-wired", "uni-fw", rate_bps=gbps(10.0),
-                     kind=LinkKind.VIRTUAL, length_m=200.0,
-                     utilisation=0.30)
-        topo.connect("uni-fw", "acon-graz", rate_bps=gbps(10.0),
-                     utilisation=0.35)
-        topo.connect("acon-graz", "acon-vie", rate_bps=gbps(100.0),
-                     length_m=units.km(400.0), utilisation=0.30)
-        topo.connect("acon-vie", "cloud-vie", rate_bps=gbps(100.0),
-                     utilisation=0.25)
-
-        self.topology = topo
-        self.asgraph = asg
-        self.routes = RouteComputer(topo, asg)
-
-    # ------------------------------------------------------------------
-    # probes
-    # ------------------------------------------------------------------
-
-    def _build_probes(self) -> None:
-        registry = ProbeRegistry()
-        registry.register(Probe(
-            probe_id=1, name="uni-anchor", node_name="probe-uni",
-            location=self.grid.cell_center(self.cell_e3),
-            kind=ProbeKind.ANCHOR))
-        registry.register(Probe(
-            probe_id=2, name="uni-wired", node_name="uni-wired",
-            location=UNI, kind=ProbeKind.ANCHOR))
-        self.probes = registry
-
-    # ------------------------------------------------------------------
-    # campaign configuration (the calibration tables)
-    # ------------------------------------------------------------------
-
-    def _build_campaign_config(self) -> None:
-        # CGNAT/UPF breakouts: Vienna is the busy default; Frankfurt is
-        # the quiet overflow pool some sessions land on.
-        gw_vie = Gateway("vienna", "gw-vie", UserPlaneFunction(
-            name="upf-cgnat-vie", location=VIENNA,
-            tier=SiteTier.REGIONAL_CORE,
-            pipeline_s=1.2e-3, rule_count=30_000,
-            throughput_bps=units.gbps(100.0), load=0.65))
-        gw_fra = Gateway("frankfurt", "gw-fra", UserPlaneFunction(
-            name="upf-cgnat-fra", location=FRANKFURT,
-            tier=SiteTier.REGIONAL_CORE,
-            pipeline_s=0.7e-3, rule_count=20_000,
-            throughput_bps=units.gbps(100.0), load=0.15))
-        # Edge breakout (the Sec. V-B deployment, used when
-        # ``edge_breakout=True``): a lean UPF in Klagenfurt.
-        gw_edge = Gateway("edge", "gw-kla", UserPlaneFunction(
-            name="upf-edge-kla", location=GeoPoint(46.626, 14.306),
-            tier=SiteTier.EDGE,
-            pipeline_s=12e-6, rule_count=5_000,
-            throughput_bps=units.gbps(100.0), load=0.25))
-
-        # Eight mobile peers spread over moderately loaded cells.
-        peer_loads = (0.58, 0.62, 0.65, 0.65, 0.68, 0.68, 0.70, 0.72)
-        peers = {
-            f"peer-{i + 1}": MobilePeer(
-                name=f"peer-{i + 1}", air_load=load, sinr_db=13.0)
-            for i, load in enumerate(peer_loads)
-        }
-        default_targets = tuple(f"peer-{i + 1}"
-                                for i in range(len(peer_loads)))
-        default_targets += ("probe-uni",)
-        # C3's peers share its rush-hour arterial: all on congested
-        # macros.  This raises C3's *mean* without adding own-queue
-        # variance, keeping E5 the sigma maximum as in Fig. 3.
-        for i in range(8):
-            peers[f"peer-hot-{i + 1}"] = MobilePeer(
-                name=f"peer-hot-{i + 1}", air_load=0.80, sinr_db=13.0)
-
-        # Per-cell congestion field: seeded spatial noise plus anchors.
-        load_rng = self.rng.stream("scenario.load")
-        extra_load: dict[CellId, float] = {}
-        for cell in self.traversed_cells:
-            extra_load[cell] = float(load_rng.uniform(0.12, 0.24))
-        for label, value in ANCHOR_EXTRA_LOAD.items():
-            extra_load[CellId.from_label(label)] = value
-
-        handover_prob = {CellId.from_label(label): p
-                         for label, p in ANCHOR_HANDOVER_PROB.items()}
-
-        targets: dict[CellId, tuple[str, ...]] = {}
-        # B3: wired-probe-only measurements (quiet residential cell whose
-        # peers were offline) -> no peer-side air variance.
-        targets[CellId.from_label("B3")] = ("probe-uni",) * 9
-        targets[CellId.from_label("C3")] = tuple(
-            f"peer-hot-{i + 1}" for i in range(8)) + ("probe-uni",)
-
-        from ..ran.spectrum import Generation
-        interruption = HANDOVER_INTERRUPTION_S
-        if self.radio_config.generation is Generation.SIX_G:
-            # 6G make-before-break: interruptions shrink to ~1 ms.
-            interruption = 1e-3
-        gateway_by_cell = {CellId.from_label("B3"): "frankfurt"}
-        default_gateway = "vienna"
-        if self.edge_breakout:
-            # Campaign-wide edge termination: every cell (including B3)
-            # breaks out locally.
-            default_gateway = "edge"
-            gateway_by_cell = {}
-
-        self.campaign_config = CampaignConfig(
-            targets=targets,
-            gateways={"vienna": gw_vie, "frankfurt": gw_fra,
-                      "edge": gw_edge},
-            default_gateway=default_gateway,
-            peers=peers,
-            default_targets=default_targets,
-            gateway_by_cell=gateway_by_cell,
-            cell_extra_load=extra_load,
-            handover_prob=handover_prob,
-            handover_interruption_s=interruption,
-        )
-
-    # ------------------------------------------------------------------
-    # campaign execution + headline artifacts
-    # ------------------------------------------------------------------
-
-    def drive_route(self, mean_positions_per_cell: float = 6.0
-                    ) -> DriveTestRoute:
-        """The drive-test traversal of the 33 measured cells."""
-        density = {cell: self.population.cell_density(self.grid, cell)
-                   for cell in self.traversed_cells}
-        mean_density = float(np.mean(list(density.values())))
-        weights = {cell: d / mean_density for cell, d in density.items()}
-        return DriveTestRoute(
-            self.grid, self.traversed_cells,
-            self.rng.stream("scenario.route"),
-            traffic_weight=weights,
-            mean_samples_per_cell=mean_positions_per_cell,
-            min_samples=2,
-        )
-
-    def campaign(self, mean_positions_per_cell: float = 6.0
-                 ) -> DriveTestCampaign:
-        """Build the (not yet run) drive-test campaign."""
-        return DriveTestCampaign(
-            grid=self.grid,
-            route=self.drive_route(mean_positions_per_cell),
-            radio=self.radio,
-            routes=self.routes,
-            config=self.campaign_config,
-            rng=self.rng,
-        )
-
-    def run_campaign(self, mean_positions_per_cell: float = 6.0
-                     ) -> MeasurementDataset:
-        """Run the full drive test; returns the measurement dataset."""
-        return self.campaign(mean_positions_per_cell).run()
-
-    def statistics(self, dataset: MeasurementDataset) -> CellStatistics:
-        """Per-cell aggregation of a campaign dataset."""
-        return CellStatistics(self.grid, dataset)
-
-    def wired_baseline(self, count: int = 50) -> np.ndarray:
-        """Wired RTTs university -> cloud (the [3] baseline, 7-12 ms)."""
-        return ping(self.routes, "uni-wired", "cloud-vie",
-                    self.rng.stream("scenario.wired"), count=count)
-
-    def reference_trace(self) -> TracerouteResult:
-        """Table I: the hop chain from the C2 mobile node to the probe."""
-        route = self.routes.route("ue-c2", "probe-uni")
-        return traceroute(self.topology, route)
-
-    def detour_route_km(self) -> float:
-        """Fig. 4: deployed-fibre length of the geographic loop
-        Klagenfurt -> Vienna -> Prague -> Bucharest -> Vienna, derived
-        from the trace's hop locations (up to the IX re-entry)."""
-        trace = self.reference_trace()
-        hops = [self.topology.node(h.node_name) for h in trace.hops]
-        locations = [self.topology.node("ue-c2").location]
-        locations += [h.location for h in hops]
-        # Truncate after the Vienna IX hop (the paper's loop of Fig. 4).
-        ix_index = next(i for i, h in enumerate(hops)
-                        if h.name == "ix-vie")
-        loop = locations[: ix_index + 2]
-        from ..geo.coords import path_length
-        return units.to_km(path_length(loop) * 1.05)

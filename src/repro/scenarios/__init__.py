@@ -1,0 +1,51 @@
+"""Declarative scenario API: compile any city from a serializable spec.
+
+A scenario is *data*, not code: a :class:`ScenarioSpec` composes the
+grid, population, radio, AS-graph, gateway, peer, and campaign layers
+into one value that round-trips through JSON, and :func:`build` is the
+single compiler that turns any spec plus a seed into a runnable world.
+
+Quickstart::
+
+    from repro.scenarios import build, klagenfurt
+
+    scenario = build(klagenfurt(), seed=42)
+    dataset = scenario.run_campaign()
+    print(scenario.reference_trace().render_table())
+
+Registered scenarios are listed by :func:`names` and fetched with
+:func:`get`; custom cities come from a JSON file via :func:`load_spec`
+or from your own spec factory (register it to make
+``python -m repro evaluate --scenario yours`` work).
+"""
+
+from .build import BuiltScenario, build
+from .klagenfurt import klagenfurt
+from .registry import get, load_spec, names, register
+from .skopje import skopje
+from .spec import (
+    ASSpec,
+    CampaignSpec,
+    GatewaySpec,
+    GridSpec,
+    LinkSpec,
+    NodeSpec,
+    PeerSpec,
+    PopulationSpec,
+    ProbeSpec,
+    RadioSpec,
+    ScenarioSpec,
+    SiteSpec,
+)
+
+__all__ = [
+    "ASSpec", "CampaignSpec", "GatewaySpec", "GridSpec", "LinkSpec",
+    "NodeSpec", "PeerSpec", "PopulationSpec", "ProbeSpec", "RadioSpec",
+    "ScenarioSpec", "SiteSpec",
+    "BuiltScenario", "build",
+    "register", "get", "names", "load_spec",
+    "klagenfurt", "skopje",
+]
+
+register("klagenfurt", klagenfurt)
+register("skopje", skopje)

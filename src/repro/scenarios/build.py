@@ -1,0 +1,279 @@
+"""The scenario compiler: ``build(spec, seed) -> BuiltScenario``.
+
+One engine turns any :class:`~repro.scenarios.spec.ScenarioSpec` into a
+runnable world.  :class:`BuiltScenario` exposes the exact surface the
+campaign and analysis layers consume — ``grid``, ``population``,
+``radio``, ``topology``, ``asgraph``, ``routes``, ``campaign_config``,
+``probes``, ``drive_route``, ``reference_trace``, ``wired_baseline`` —
+so everything downstream of :class:`~repro.core.evaluation
+.InfrastructureEvaluation` runs unchanged on any city.
+
+Determinism contract: every stochastic component draws from named
+streams of one :class:`~repro.sim.rng.RngRegistry` rooted at the build
+seed (``scenario.load``, ``scenario.route``, ``scenario.wired``, plus
+the campaign's per-cell streams), and per-cell draws consume the stream
+in grid order — equal spec + equal seed gives a bit-identical campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import units
+from ..cn.nf import SiteTier
+from ..cn.upf import UserPlaneFunction
+from ..geo.coords import GeoPoint, path_length
+from ..geo.grid import CellId, Grid
+from ..geo.mobility import DriveTestRoute
+from ..geo.population import RadialPopulationModel
+from ..net.address import IPv4Address
+from ..net.asn import ASGraph, ASKind, AutonomousSystem
+from ..net.link import LinkKind
+from ..net.node import Node, NodeKind
+from ..net.routing import RouteComputer
+from ..net.topology import Topology
+from ..net.traceroute import TracerouteResult, traceroute
+from ..probes.atlas import Probe, ProbeKind, ProbeRegistry
+from ..probes.campaign import (
+    CampaignConfig,
+    DriveTestCampaign,
+    Gateway,
+    MobilePeer,
+)
+from ..probes.ping import ping
+from ..probes.results import MeasurementDataset
+from ..probes.stats import CellStatistics
+from ..ran.gnb import GNodeB, RadioNetwork
+from ..sim.rng import RngRegistry
+from .spec import ScenarioSpec
+
+__all__ = ["BuiltScenario", "build"]
+
+
+class BuiltScenario:
+    """A compiled scenario: the world every study layer runs against."""
+
+    def __init__(self, spec: ScenarioSpec, seed: int = 42):
+        self.spec = spec
+        self.seed = seed
+        self.rng = RngRegistry(seed)
+        self._build_grid()
+        self._build_population()
+        self._build_radio()
+        self._build_internet()
+        self._build_probes()
+        self._build_campaign_config()
+
+    # ------------------------------------------------------------------
+    # geography
+    # ------------------------------------------------------------------
+
+    def _build_grid(self) -> None:
+        self.grid: Grid = self.spec.grid.build()
+
+    def _build_population(self) -> None:
+        pop = self.spec.population
+        self.population = RadialPopulationModel(
+            pop.centre, core_density=pop.core_density,
+            scale_m=pop.scale_m, floor=pop.floor)
+        self.traversed_cells = [
+            cell for cell in self.grid.cells()
+            if self.population.cell_density(self.grid, cell)
+            >= pop.density_threshold]
+        self.masked_cells = [cell for cell in self.grid.cells()
+                             if cell not in set(self.traversed_cells)]
+
+    # ------------------------------------------------------------------
+    # radio layer
+    # ------------------------------------------------------------------
+
+    def _build_radio(self) -> None:
+        radio = self.spec.radio
+        self.radio_config = radio.build_config()
+        self.channel = radio.build_channel(self.seed)
+        gnbs = [GNodeB(
+            name=site.gnb_name,
+            location=self.grid.cell_center(CellId.from_label(site.cell)),
+            config=self.radio_config,
+            load=site.load,
+        ) for site in radio.sites]
+        self.radio = RadioNetwork(self.channel, gnbs)
+
+    # ------------------------------------------------------------------
+    # internet topology + policy
+    # ------------------------------------------------------------------
+
+    def _build_internet(self) -> None:
+        topo = Topology(f"{self.spec.name}-internet")
+        asg = ASGraph()
+        for system in self.spec.systems:
+            asg.add(AutonomousSystem(
+                system.asn, system.name, kind=ASKind(system.kind),
+                ptr_template=system.ptr_template))
+        for customer, provider in self.spec.transits:
+            asg.set_customer_of(customer, provider)
+        for a, b in self.spec.peerings:
+            asg.set_peers(a, b)
+
+        for node in self.spec.nodes:
+            topo.add_node(Node(
+                name=node.name, kind=NodeKind(node.kind),
+                location=node.location, asn=node.asn,
+                address=(IPv4Address.parse(node.address)
+                         if node.address else None),
+                display_name=node.display,
+                forwarding_delay_s=node.forwarding_delay_s))
+        for link in self.spec.links:
+            topo.connect(link.a, link.b, kind=LinkKind(link.kind),
+                         rate_bps=link.rate_bps, length_m=link.length_m,
+                         utilisation=link.utilisation)
+
+        self.topology = topo
+        self.asgraph = asg
+        self.routes = RouteComputer(topo, asg)
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+
+    def _build_probes(self) -> None:
+        registry = ProbeRegistry()
+        for probe in self.spec.probes:
+            registry.register(Probe(
+                probe_id=probe.probe_id, name=probe.name,
+                node_name=probe.node_name, location=probe.location,
+                kind=ProbeKind(probe.kind)))
+        self.probes = registry
+
+    # ------------------------------------------------------------------
+    # campaign configuration (the calibration tables)
+    # ------------------------------------------------------------------
+
+    def _build_campaign_config(self) -> None:
+        camp = self.spec.campaign
+        gateways = {g.name: Gateway(g.name, g.node_name, UserPlaneFunction(
+            name=g.upf_name, location=GeoPoint(g.lat, g.lon),
+            tier=SiteTier(g.tier), pipeline_s=g.pipeline_s,
+            rule_count=g.rule_count, throughput_bps=g.throughput_bps,
+            load=g.load)) for g in camp.gateways}
+        peers = {p.name: MobilePeer(
+            name=p.name, air_load=p.air_load, sinr_db=p.sinr_db,
+            gateway=p.gateway) for p in camp.peers}
+
+        # Per-cell congestion field: seeded spatial noise plus anchors.
+        # Draws consume the stream in grid order so equal specs + equal
+        # seeds stay bit-identical (the anchors overwrite afterwards,
+        # exactly like the original Klagenfurt construction).
+        extra_load: dict[CellId, float] = {}
+        if camp.extra_load_range is not None:
+            lo, hi = camp.extra_load_range
+            load_rng = self.rng.stream("scenario.load")
+            for cell in self.traversed_cells:
+                extra_load[cell] = float(load_rng.uniform(lo, hi))
+        for label, value in camp.extra_load_anchors:
+            extra_load[CellId.from_label(label)] = value
+
+        self.campaign_config = CampaignConfig(
+            targets={CellId.from_label(label): tuple(names)
+                     for label, names in camp.cell_targets},
+            gateways=gateways,
+            default_gateway=camp.default_gateway,
+            peers=peers,
+            default_targets=tuple(camp.default_targets),
+            gateway_by_cell={CellId.from_label(label): gw
+                             for label, gw in camp.gateway_by_cell},
+            cell_extra_load=extra_load,
+            handover_prob={CellId.from_label(label): p
+                           for label, p in camp.handover_prob},
+            handover_interruption_s=camp.handover_interruption_s,
+            max_cell_load=camp.max_cell_load,
+        )
+
+    # ------------------------------------------------------------------
+    # campaign execution + headline artifacts
+    # ------------------------------------------------------------------
+
+    def drive_route(self, mean_positions_per_cell: float = 6.0
+                    ) -> DriveTestRoute:
+        """The drive-test traversal of the measured cells."""
+        weights: Optional[dict[CellId, float]] = None
+        if self.spec.campaign.route_weighting == "population":
+            density = {cell: self.population.cell_density(self.grid, cell)
+                       for cell in self.traversed_cells}
+            mean_density = float(np.mean(list(density.values())))
+            weights = {cell: d / mean_density
+                       for cell, d in density.items()}
+        return DriveTestRoute(
+            self.grid, self.traversed_cells,
+            self.rng.stream("scenario.route"),
+            traffic_weight=weights,
+            mean_samples_per_cell=mean_positions_per_cell,
+            min_samples=self.spec.campaign.min_samples,
+        )
+
+    def campaign(self, mean_positions_per_cell: float = 6.0
+                 ) -> DriveTestCampaign:
+        """Build the (not yet run) drive-test campaign."""
+        return DriveTestCampaign(
+            grid=self.grid,
+            route=self.drive_route(mean_positions_per_cell),
+            radio=self.radio,
+            routes=self.routes,
+            config=self.campaign_config,
+            rng=self.rng,
+        )
+
+    def run_campaign(self, mean_positions_per_cell: float = 6.0
+                     ) -> MeasurementDataset:
+        """Run the full drive test; returns the measurement dataset."""
+        return self.campaign(mean_positions_per_cell).run()
+
+    def statistics(self, dataset: MeasurementDataset) -> CellStatistics:
+        """Per-cell aggregation of a campaign dataset."""
+        return CellStatistics(self.grid, dataset)
+
+    def wired_baseline(self, count: int = 50) -> np.ndarray:
+        """Wired RTTs between the spec's baseline endpoints."""
+        if not (self.spec.wired_src and self.spec.wired_dst):
+            raise ValueError(
+                f"scenario {self.spec.name!r} defines no wired baseline")
+        return ping(self.routes, self.spec.wired_src, self.spec.wired_dst,
+                    self.rng.stream("scenario.wired"), count=count)
+
+    def reference_trace(self) -> TracerouteResult:
+        """The Table-I-style hop chain between the reference endpoints."""
+        if not (self.spec.reference_src and self.spec.reference_dst):
+            raise ValueError(
+                f"scenario {self.spec.name!r} defines no reference trace")
+        route = self.routes.route(self.spec.reference_src,
+                                  self.spec.reference_dst)
+        return traceroute(self.topology, route)
+
+    def detour_route_km(self) -> float:
+        """Deployed-fibre length of the trace's geographic loop.
+
+        The loop runs from the reference source up to (and including the
+        hop after) ``spec.detour_loop_end`` — the Fig.-4 construction —
+        or over the whole trace when no loop end is named.
+        """
+        trace = self.reference_trace()
+        hops = [self.topology.node(h.node_name) for h in trace.hops]
+        locations = [self.topology.node(self.spec.reference_src).location]
+        locations += [h.location for h in hops]
+        if self.spec.detour_loop_end:
+            end_index = next(i for i, h in enumerate(hops)
+                             if h.name == self.spec.detour_loop_end)
+            locations = locations[: end_index + 2]
+        return units.to_km(path_length(locations)
+                           * self.spec.detour_circuity)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"BuiltScenario({self.spec.name!r}, seed={self.seed}, "
+                f"grid={self.grid.cols}x{self.grid.rows})")
+
+
+def build(spec: ScenarioSpec, seed: int = 42) -> BuiltScenario:
+    """Compile ``spec`` into a runnable world rooted at ``seed``."""
+    return BuiltScenario(spec, seed)

@@ -1,0 +1,49 @@
+"""Named scenario registry + JSON spec loading.
+
+Factories (not pre-built specs) are registered so each lookup returns a
+fresh, independent :class:`~repro.scenarios.spec.ScenarioSpec` — specs
+are frozen values, but keeping construction lazy means import order
+cannot bake stale parametrisations into the table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from .spec import ScenarioSpec
+
+__all__ = ["register", "get", "names", "load_spec"]
+
+_FACTORIES: dict[str, Callable[[], ScenarioSpec]] = {}
+
+
+def register(name: str, factory: Callable[[], ScenarioSpec], *,
+             overwrite: bool = False) -> None:
+    """Register a zero-argument spec factory under ``name``."""
+    if not name:
+        raise ValueError("scenario name must be non-empty")
+    if name in _FACTORIES and not overwrite:
+        raise ValueError(f"scenario {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def get(name: str) -> ScenarioSpec:
+    """The spec registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES)) or "<none>"
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {known}") from None
+    return factory()
+
+
+def names() -> list[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def load_spec(path: str | Path) -> ScenarioSpec:
+    """Load a :class:`ScenarioSpec` from a JSON file."""
+    return ScenarioSpec.from_json(Path(path).read_text())

@@ -1,0 +1,154 @@
+"""A second city — a Skopje-like world — as a spec factory.
+
+The paper's future work calls for "expanding the geographical scope of
+the evaluation to include diverse regions".  This spec deliberately
+differs from Klagenfurt: a smaller 5x5 grid, four macro sites, a single
+regional breakout in Sofia (no Frankfurt overflow pool), a flatter
+congestion field, and no calibration anchors — yet its campaign still
+exhibits the paper's qualitative structure (mobile RTL far above the
+20 ms budget, border cells masked), because the structure comes from
+the physics, not from Klagenfurt-specific constants.
+"""
+
+from __future__ import annotations
+
+from ..geo.coords import GeoPoint
+from ..geo.grid import CellId, Grid
+from .spec import (
+    ASSpec,
+    CampaignSpec,
+    GatewaySpec,
+    GridSpec,
+    LinkSpec,
+    NodeSpec,
+    PeerSpec,
+    PopulationSpec,
+    ProbeSpec,
+    RadioSpec,
+    ScenarioSpec,
+    SiteSpec,
+)
+
+__all__ = ["skopje", "AS_MOBILE_MK", "AS_BALKAN_TRANSIT",
+           "AS_EYEBALL_MK", "AS_CLOUD_SOF"]
+
+AS_MOBILE_MK = 100        #: the Macedonian mobile operator
+AS_BALKAN_TRANSIT = 200   #: regional wholesale transit (Sofia)
+AS_EYEBALL_MK = 300       #: the Skopje access ISP
+AS_CLOUD_SOF = 400        #: Sofia cloud region (wired baseline target)
+
+SKOPJE = GeoPoint(41.9981, 21.4254)
+SOFIA = GeoPoint(42.6977, 23.3219)    # the regional breakout city
+
+_GBPS = 1e9
+
+
+def skopje() -> ScenarioSpec:
+    """The Skopje-like second-city :class:`ScenarioSpec`."""
+    grid_spec = GridSpec(origin_lat=42.020, origin_lon=21.395,
+                         cell_size_m=1000.0, cols=5, rows=5)
+    grid: Grid = grid_spec.build()
+    centre = grid.point_in_cell(CellId.from_label("C3"), 0.5, 0.5)
+    population = PopulationSpec(
+        centre_lat=centre.lat, centre_lon=centre.lon,
+        core_density=5200.0, scale_m=1800.0, floor=60.0,
+        density_threshold=1000.0)
+
+    # Radio: four macro sites on the deployed 5G profile.
+    radio = RadioSpec(
+        sites=tuple(SiteSpec(cell=label, load=0.60)
+                    for label in ("B2", "D2", "B4", "D4")),
+        antenna_gain_db=28.0)
+
+    # Internet: the mobile AS breaks out in Sofia; the local eyeball
+    # hangs off a regional transit — the same hairpin structure as
+    # Klagenfurt's Table I chain, in new geography.
+    systems = (
+        ASSpec(AS_MOBILE_MK, "mobile-mk", "mobile_isp"),
+        ASSpec(AS_BALKAN_TRANSIT, "balkan-transit", "transit"),
+        ASSpec(AS_EYEBALL_MK, "eyeball-mk", "access_isp"),
+        ASSpec(AS_CLOUD_SOF, "cloud-sof", "cloud"),
+    )
+    transits = (
+        (AS_MOBILE_MK, AS_BALKAN_TRANSIT),
+        (AS_EYEBALL_MK, AS_BALKAN_TRANSIT),
+        (AS_CLOUD_SOF, AS_BALKAN_TRANSIT),
+    )
+
+    c3 = grid.cell_center(CellId.from_label("C3"))
+    b2 = grid.cell_center(CellId.from_label("B2"))
+    nodes = (
+        NodeSpec("ue-skp", "ue", lat=b2.lat, lon=b2.lon,
+                 asn=AS_MOBILE_MK, address="10.20.0.77",
+                 display="10.20.0.77"),
+        NodeSpec("gw-sofia", "gateway", lat=SOFIA.lat, lon=SOFIA.lon,
+                 asn=AS_MOBILE_MK, address="10.20.0.1",
+                 display="10.20.0.1"),
+        NodeSpec("tr-sofia", "router", lat=42.70, lon=23.33,
+                 asn=AS_BALKAN_TRANSIT, address="185.60.10.1",
+                 display="cr1.sof.balkan-transit.net"),
+        NodeSpec("eye-skp", "router", lat=SKOPJE.lat, lon=SKOPJE.lon,
+                 asn=AS_EYEBALL_MK, address="92.55.100.1",
+                 display="br1.skp.eyeball.mk"),
+        NodeSpec("probe-skp", "probe", lat=c3.lat, lon=c3.lon,
+                 asn=AS_EYEBALL_MK, address="92.55.108.33",
+                 display="92.55.108.33"),
+        NodeSpec("cloud-sof", "server", lat=42.65, lon=23.38,
+                 asn=AS_CLOUD_SOF, address="185.117.80.10",
+                 display="sof-1.cloud-sof.net"),
+    )
+    # The UE leg stands in for air interface + GTP tunnel to the Sofia
+    # breakout (the campaign itself models the radio stack instead).
+    links = (
+        LinkSpec("ue-skp", "gw-sofia", rate_bps=10 * _GBPS),
+        LinkSpec("gw-sofia", "tr-sofia", rate_bps=100 * _GBPS,
+                 utilisation=0.30),
+        LinkSpec("tr-sofia", "eye-skp", rate_bps=40 * _GBPS,
+                 utilisation=0.35),
+        LinkSpec("eye-skp", "probe-skp", rate_bps=1 * _GBPS,
+                 utilisation=0.20),
+        LinkSpec("tr-sofia", "cloud-sof", rate_bps=100 * _GBPS,
+                 utilisation=0.25),
+    )
+
+    probes = (
+        ProbeSpec(probe_id=1, name="skp-anchor", node_name="probe-skp",
+                  lat=c3.lat, lon=c3.lon, kind="anchor"),
+    )
+
+    campaign = CampaignSpec(
+        default_gateway="sofia",
+        gateways=(GatewaySpec(
+            "sofia", "gw-sofia", "upf-sofia",
+            lat=SOFIA.lat, lon=SOFIA.lon, tier="regional_core",
+            pipeline_s=1.0e-3, rule_count=20_000,
+            throughput_bps=40 * _GBPS, load=0.6),),
+        peers=tuple(PeerSpec(f"peer-{i}", air_load=0.62)
+                    for i in range(1, 9)),
+        default_targets=tuple(f"peer-{i}" for i in range(1, 9))
+        + ("probe-skp",),
+        extra_load_range=(0.05, 0.2),
+        route_weighting="uniform",
+        min_samples=2,
+    )
+
+    return ScenarioSpec(
+        name="skopje",
+        description=("Skopje-like second city: 5x5 grid, four macro "
+                     "sites, single Sofia breakout — same hairpin "
+                     "structure, new geography"),
+        grid=grid_spec,
+        population=population,
+        radio=radio,
+        systems=systems,
+        transits=transits,
+        nodes=nodes,
+        links=links,
+        probes=probes,
+        campaign=campaign,
+        reference_src="ue-skp",
+        reference_dst="probe-skp",
+        wired_src="probe-skp",
+        wired_dst="cloud-sof",
+        detour_circuity=1.05,
+    )

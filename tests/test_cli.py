@@ -48,6 +48,61 @@ def test_cli_upgrade(capsys):
     assert "yes" in out
 
 
+def test_cli_evaluate_named_scenario(capsys):
+    assert main(["evaluate", "--scenario", "skopje", "--seed", "42"]) == 0
+    out = capsys.readouterr().out
+    assert "Urban Mean Round-trip Time Latency" in out
+    assert "balkan-transit" in out
+
+
+def test_cli_scenarios_lists_registry(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "klagenfurt" in out and "skopje" in out
+    assert "6x7" in out and "5x5" in out
+
+
+def test_cli_scenarios_json_dump_round_trips(capsys):
+    from repro.scenarios import ScenarioSpec, skopje
+
+    assert main(["scenarios", "--scenario", "skopje", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert ScenarioSpec.from_json(out) == skopje()
+
+
+def test_cli_scenarios_dumps_spec_file(tmp_path, capsys):
+    from repro.scenarios import ScenarioSpec, skopje
+
+    path = tmp_path / "city.json"
+    path.write_text(skopje().to_json())
+    assert main(["scenarios", "--spec", str(path)]) == 0
+    assert ScenarioSpec.from_json(capsys.readouterr().out) == skopje()
+
+
+def test_cli_evaluate_spec_file(tmp_path, capsys):
+    from repro.scenarios import skopje
+
+    path = tmp_path / "city.json"
+    path.write_text(skopje().to_json())
+    assert main(["evaluate", "--spec", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Urban Mean Round-trip Time Latency" in out
+
+
+def test_cli_unknown_scenario_is_clean_error(capsys):
+    assert main(["evaluate", "--scenario", "atlantis"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario 'atlantis'" in err
+    assert "klagenfurt" in err      # names the registered options
+
+
+def test_cli_malformed_spec_file_is_clean_error(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text('{"not": "a spec"}')
+    assert main(["evaluate", "--spec", str(path)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
 def test_cli_rejects_unknown_command():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
