@@ -6,6 +6,9 @@ evaluate      run the Section IV campaign, print Fig. 2/3, Table I and
               the gap analysis (``--scenario NAME`` or ``--spec FILE``
               picks the world; default klagenfurt)
 scenarios     list registered scenarios, or dump one as JSON
+sweep         run a parameter sweep / multi-seed fleet over scenario
+              specs (``--set path=v1,v2,...`` per axis, ``--seeds``,
+              ``--jobs``, ``--out``)
 peering       run the Section V-A local-peering what-if
 upf           run the Section V-B UPF placement comparison
 cpf           run the Section V-C control-plane comparison
@@ -16,6 +19,7 @@ upgrade       run the Section VI 6G upgrade arms
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import scenarios, units
@@ -79,6 +83,71 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         rows, title="Registered scenarios"))
     print("\nrun one:  python -m repro evaluate --scenario NAME")
     print("export:   python -m repro scenarios --scenario NAME --json")
+    return 0
+
+
+def _parse_value(text: str):
+    """A ``--set`` value: JSON scalar if it parses, bare string if not."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    """``"42"``, ``"42,43,44"`` or the range ``"42:46"`` (end exclusive)."""
+    text = text.strip()
+    if ":" in text:
+        start_s, _, stop_s = text.partition(":")
+        start, stop = int(start_s), int(stop_s)
+        if stop <= start:
+            raise ValueError(f"empty seed range {text!r}")
+        return tuple(range(start, stop))
+    return tuple(int(part) for part in text.split(","))
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .fleet import SweepAxis, SweepSpec, fleet_summary, run_sweep
+
+    try:
+        if args.spec:
+            bases = [scenarios.load_spec(args.spec)]
+        else:
+            bases = [scenarios.get(name.strip())
+                     for name in args.scenario.split(",")]
+        axes = []
+        for setting in args.set or []:
+            path, sep, values = setting.partition("=")
+            if not sep or not values:
+                raise ValueError(
+                    f"--set wants path=v1,v2,..., got {setting!r}")
+            axes.append(SweepAxis(
+                path=path.strip(),
+                values=tuple(_parse_value(v) for v in values.split(","))))
+        sweep = SweepSpec(
+            bases=tuple(bases), axes=tuple(axes),
+            seeds=_parse_seeds(args.seeds),
+            mode="zip" if args.zip else "cartesian",
+            density=args.density)
+        print(f"expanding {sweep.variant_count} variants x "
+              f"{len(sweep.seeds)} seeds = {sweep.run_count} runs "
+              f"(jobs={args.jobs})")
+
+        def progress(done: int, total: int, record) -> None:
+            print(f"  [{done}/{total}] {record.run_id}: "
+                  f"{units.to_ms(record.summary.gap.mobile_mean_s):.1f} ms "
+                  f"mobile mean")
+
+        result = run_sweep(sweep, jobs=args.jobs,
+                           out=args.out or None, progress=progress)
+    except (KeyError, OSError, TypeError, ValueError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print()
+    print(fleet_summary(result))
+    if args.out:
+        print(f"\nmanifest + per-run records + summary.csv in {args.out}/")
     return 0
 
 
@@ -149,6 +218,7 @@ def cmd_upgrade(args: argparse.Namespace) -> int:
 COMMANDS = {
     "evaluate": cmd_evaluate,
     "scenarios": cmd_scenarios,
+    "sweep": cmd_sweep,
     "peering": cmd_peering,
     "upf": cmd_upf,
     "cpf": cmd_cpf,
@@ -174,6 +244,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="with scenarios: dump the selected spec "
                              "as JSON")
+    parser.add_argument("--set", action="append", metavar="PATH=V1,V2",
+                        help="with sweep: one axis of dotted-path "
+                             "override values (repeatable)")
+    parser.add_argument("--seeds", default="42",
+                        help="with sweep: seed list 'a,b,c' or range "
+                             "'a:b' (end exclusive; default 42)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="with sweep: worker processes (default 1 "
+                             "= serial)")
+    parser.add_argument("--out", default="",
+                        help="with sweep: directory for manifest + "
+                             "per-run records + CSV")
+    parser.add_argument("--density", type=float, default=6.0,
+                        help="with sweep: mean drive-test positions "
+                             "per cell (default 6)")
+    parser.add_argument("--zip", action="store_true",
+                        help="with sweep: walk axes in lockstep "
+                             "instead of the cartesian product")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

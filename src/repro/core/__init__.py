@@ -1,7 +1,11 @@
 """The paper's analytical framework: requirements, evaluation, remedies."""
 
 from .cpf_strategy import CpfComparison, CpfEnhancementStudy, QosCacheStudy
-from .evaluation import EvaluationResult, InfrastructureEvaluation
+from .evaluation import (
+    EvaluationResult,
+    EvaluationSummary,
+    InfrastructureEvaluation,
+)
 from .future import (
     FederatedEdgeStudy,
     PredictiveSlicingStudy,
@@ -31,7 +35,7 @@ from .upf_strategy import DynamicUpfSelector, UpfDeployment, UpfPlacementStudy
 
 __all__ = [
     "CpfComparison", "CpfEnhancementStudy", "QosCacheStudy",
-    "EvaluationResult", "InfrastructureEvaluation",
+    "EvaluationResult", "EvaluationSummary", "InfrastructureEvaluation",
     "GapAnalysis", "GapReport",
     "SixGUpgradeStudy", "UpgradeArm", "FederatedEdgeStudy",
     "PredictiveSlicingStudy",

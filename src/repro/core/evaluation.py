@@ -10,8 +10,9 @@ a registered scenario name (``"klagenfurt"``, ``"skopje"``, ...), a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Union
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
 
 import numpy as np
 
@@ -24,7 +25,65 @@ from ..scenarios.spec import ScenarioSpec
 from .gap import GapAnalysis, GapReport
 from .report import render_grid_heatmap
 
-__all__ = ["EvaluationResult", "InfrastructureEvaluation"]
+__all__ = ["EvaluationResult", "EvaluationSummary",
+           "InfrastructureEvaluation"]
+
+
+def _matrix(value) -> tuple[tuple, ...]:
+    return tuple(tuple(row) for row in value)
+
+
+@dataclass(frozen=True)
+class EvaluationSummary:
+    """The lightweight record of one evaluation run.
+
+    Holds only plain values — per-cell matrices as nested tuples, the
+    gap headline numbers, the detour length — so it pickles cheaply
+    across process boundaries and round-trips losslessly through JSON.
+    The heavyweight compiled world and raw dataset stay behind on
+    :class:`EvaluationResult`.
+    """
+
+    scenario: str
+    seed: int
+    mean_positions_per_cell: float
+    sample_count: int
+    mean_matrix_ms: tuple[tuple[float, ...], ...]
+    std_matrix_ms: tuple[tuple[float, ...], ...]
+    count_matrix: tuple[tuple[int, ...], ...]
+    gap: GapReport
+    detour_km: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mean_matrix_ms",
+                           _matrix(self.mean_matrix_ms))
+        object.__setattr__(self, "std_matrix_ms",
+                           _matrix(self.std_matrix_ms))
+        object.__setattr__(self, "count_matrix",
+                           _matrix(self.count_matrix))
+        if isinstance(self.gap, Mapping):
+            object.__setattr__(self, "gap", GapReport(**self.gap))
+
+    @property
+    def mobile_mean_s(self) -> float:
+        return self.gap.mobile_mean_s
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "mean_positions_per_cell": self.mean_positions_per_cell,
+            "sample_count": self.sample_count,
+            "mean_matrix_ms": [list(r) for r in self.mean_matrix_ms],
+            "std_matrix_ms": [list(r) for r in self.std_matrix_ms],
+            "count_matrix": [list(r) for r in self.count_matrix],
+            "gap": asdict(self.gap),
+            "detour_km": self.detour_km,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationSummary":
+        return cls(**data)
 
 
 @dataclass
@@ -36,6 +95,24 @@ class EvaluationResult:
     statistics: CellStatistics
     wired_rtts_s: np.ndarray
     gap: GapReport
+    mean_positions_per_cell: float = 6.0
+
+    def summary(self) -> EvaluationSummary:
+        """The run reduced to its portable summary record."""
+        return EvaluationSummary(
+            scenario=self.scenario.spec.name,
+            seed=self.scenario.seed,
+            mean_positions_per_cell=self.mean_positions_per_cell,
+            sample_count=len(self.dataset),
+            mean_matrix_ms=_matrix(
+                self.statistics.mean_matrix_ms().tolist()),
+            std_matrix_ms=_matrix(
+                self.statistics.std_matrix_ms().tolist()),
+            count_matrix=_matrix(
+                self.statistics.count_matrix().tolist()),
+            gap=self.gap,
+            detour_km=self.figure4_km(),
+        )
 
     def figure2(self) -> str:
         """Fig. 2: urban mean round-trip time latency heatmap."""
@@ -65,8 +142,6 @@ class EvaluationResult:
         ``gap_summary.txt``, ``campaign.csv`` (the raw dataset) and
         ``wired_baseline.csv``.  Returns ``{artifact: path}``.
         """
-        from pathlib import Path
-
         out = Path(directory)
         out.mkdir(parents=True, exist_ok=True)
         paths: dict[str, str] = {}
@@ -138,4 +213,5 @@ class InfrastructureEvaluation:
             statistics=stats,
             wired_rtts_s=wired,
             gap=gap,
+            mean_positions_per_cell=self.mean_positions_per_cell,
         )

@@ -1,0 +1,39 @@
+"""Fleet execution: parameter sweeps and multi-seed campaigns.
+
+Where :mod:`repro.scenarios` makes one city serializable data, this
+package makes *many runs* data: a :class:`SweepSpec` (base specs x
+override axes x seeds) expands into :class:`RunSpec` units executed by
+:func:`run_sweep` — serially or across a process pool — each reducing
+to a portable :class:`RunRecord` persisted by :class:`FleetStore`.
+
+Quickstart::
+
+    from repro.fleet import SweepAxis, SweepSpec, fleet_summary, run_sweep
+    from repro.scenarios import klagenfurt, skopje
+
+    sweep = SweepSpec(
+        bases=(klagenfurt(), skopje()),
+        axes=(SweepAxis("campaign.handover_interruption_s",
+                        (30e-3, 45e-3, 60e-3)),),
+        seeds=(42, 43, 44, 45),
+    )
+    result = run_sweep(sweep, jobs=4, out="fleet-out")
+    print(fleet_summary(result))
+
+Or from the shell::
+
+    python -m repro sweep --scenario klagenfurt,skopje \\
+        --set campaign.handover_interruption_s=0.03,0.045,0.06 \\
+        --seeds 42:46 --jobs 4 --out fleet-out
+"""
+
+from .report import fleet_summary, write_csv
+from .runner import run_one, run_sweep
+from .store import FleetResult, FleetStore
+from .sweep import RunRecord, RunSpec, SweepAxis, SweepSpec
+
+__all__ = [
+    "FleetResult", "FleetStore",
+    "RunRecord", "RunSpec", "SweepAxis", "SweepSpec",
+    "fleet_summary", "run_one", "run_sweep", "write_csv",
+]

@@ -1,0 +1,45 @@
+"""Human-readable digests of a fleet result.
+
+Consumes the aggregation surface of
+:class:`~repro.fleet.store.FleetResult` and renders it with the same
+table renderer every other study in the repo uses.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.report import render_comparison_table
+from .store import FleetResult
+
+__all__ = ["fleet_summary", "write_csv"]
+
+
+def _cell(value, *, identity: bool) -> object:
+    if isinstance(value, float):
+        # Axis values print exactly (0.045 stays 0.045); measurements
+        # round to presentation precision.
+        return f"{value:g}" if identity else f"{value:.2f}"
+    return value
+
+
+def fleet_summary(result: FleetResult) -> str:
+    """The per-variant summary table plus the execution footer."""
+    header, rows = result.summary_rows()
+    identity_columns = 1 + len(result.sweep.axes)
+    table = render_comparison_table(
+        header,
+        [[_cell(v, identity=i < identity_columns)
+          for i, v in enumerate(row)] for row in rows],
+        title=f"Fleet summary — {len(result)} runs "
+              f"({result.sweep.variant_count} variants x "
+              f"{len(result.sweep.seeds)} seeds)")
+    busy = sum(result.run_wall_s)
+    footer = (f"wall time {result.wall_s:.2f} s with jobs={result.jobs}"
+              f" (cumulative run time {busy:.2f} s)")
+    return f"{table}\n{footer}"
+
+
+def write_csv(result: FleetResult, path: str | Path) -> str:
+    """Export the flat per-run table; returns the written path."""
+    return result.to_csv(path)

@@ -1,0 +1,103 @@
+"""Fleet execution: expand a sweep and run it, serially or in parallel.
+
+The unit of work is :func:`run_one` — a pure, top-level, picklable
+function from ``(spec JSON, seed, density)`` to a
+:class:`~repro.fleet.sweep.RunRecord`.  Nothing heavyweight crosses a
+process boundary: workers receive a plain ``RunSpec`` dict and return a
+plain ``RunRecord`` dict, so the ``ProcessPoolExecutor`` path ships
+only JSON-sized payloads while the compiled world and raw dataset die
+with the worker.
+
+Determinism contract: a record is a function of ``(spec, seed,
+density)`` alone (the scenario compiler draws every stochastic value
+from per-seed named streams), so ``jobs=1`` and ``jobs=N`` executions
+of the same sweep are bit-identical; :mod:`tests.test_fleet` pins this.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional
+
+from ..core.evaluation import InfrastructureEvaluation
+from ..scenarios.spec import ScenarioSpec
+from .store import FleetResult, FleetStore
+from .sweep import RunRecord, RunSpec, SweepSpec
+
+__all__ = ["run_one", "run_sweep"]
+
+#: Progress callback: ``(finished_count, total, record)``.
+ProgressFn = Callable[[int, int, RunRecord], None]
+
+
+def run_one(spec_json: str, seed: int, density: float = 6.0, *,
+            run_id: str = "", variant: tuple = ()) -> RunRecord:
+    """Evaluate one scenario at one seed; return its summary record.
+
+    Top-level and argument-pure so it pickles into worker processes:
+    the spec travels as JSON, the result as plain values.
+    """
+    spec = ScenarioSpec.from_json(spec_json)
+    result = InfrastructureEvaluation(
+        seed=seed, mean_positions_per_cell=density, scenario=spec).run()
+    return RunRecord(
+        run_id=run_id or f"{spec.name}-s{seed}",
+        scenario=spec.name,
+        seed=seed,
+        density=density,
+        variant=tuple(variant),
+        summary=result.summary(),
+    )
+
+
+def _execute(run_dict: dict) -> dict:
+    """Worker entry point: RunSpec dict in, timed RunRecord dict out."""
+    run = RunSpec.from_dict(run_dict)
+    started = time.perf_counter()
+    record = run_one(run.scenario.to_json(indent=0), run.seed,
+                     run.density, run_id=run.run_id, variant=run.variant)
+    return {"record": record.to_dict(),
+            "wall_s": time.perf_counter() - started}
+
+
+def run_sweep(sweep: SweepSpec, *, jobs: int = 1,
+              out: Optional[str] = None,
+              progress: Optional[ProgressFn] = None) -> FleetResult:
+    """Execute every run of ``sweep``; optionally persist to ``out``.
+
+    ``jobs <= 1`` runs in-process; ``jobs > 1`` fans out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results come
+    back in expansion order either way.
+    """
+    runs = sweep.expand()
+    payloads = [run.to_dict() for run in runs]
+    total = len(payloads)
+    records: list[RunRecord] = []
+    run_wall_s: list[float] = []
+
+    started = time.perf_counter()
+    if jobs <= 1:
+        outcomes = map(_execute, payloads)
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, total))
+        outcomes = pool.map(_execute, payloads)
+    try:
+        for outcome in outcomes:
+            record = RunRecord.from_dict(outcome["record"])
+            records.append(record)
+            run_wall_s.append(outcome["wall_s"])
+            if progress is not None:
+                progress(len(records), total, record)
+    finally:
+        if jobs > 1:
+            # Don't let queued runs burn CPU after a failure surfaces.
+            pool.shutdown(cancel_futures=True)
+    wall_s = time.perf_counter() - started
+
+    result = FleetResult(sweep=sweep, records=tuple(records),
+                         run_wall_s=tuple(run_wall_s),
+                         wall_s=wall_s, jobs=jobs)
+    if out:
+        FleetStore(out).save(result)
+    return result

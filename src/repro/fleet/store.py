@@ -1,0 +1,188 @@
+"""On-disk fleet persistence + in-memory aggregation.
+
+A fleet directory is self-describing::
+
+    <out>/
+      manifest.json      # the sweep spec + per-run bookkeeping
+      runs/
+        <run_id>.json    # one RunRecord per run
+
+``manifest.json`` carries everything needed to re-expand (or resume) a
+sweep — the :class:`~repro.fleet.sweep.SweepSpec` itself round-trips
+through it — while each run file is an independent, portable record.
+:class:`FleetResult` is the aggregation surface over a set of records:
+group by axis, per-variant summary rows across seeds, flat CSV export.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import statistics as pystats
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .sweep import RunRecord, SweepSpec
+
+__all__ = ["FleetResult", "FleetStore"]
+
+MANIFEST_NAME = "manifest.json"
+RUNS_DIR = "runs"
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """A completed (or reloaded) fleet: the sweep plus all records."""
+
+    sweep: SweepSpec
+    records: tuple[RunRecord, ...]
+    run_wall_s: tuple[float, ...] = ()
+    wall_s: float = 0.0
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "records", tuple(self.records))
+        object.__setattr__(self, "run_wall_s", tuple(self.run_wall_s))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- aggregation ------------------------------------------------------
+
+    def group_by(self, key: str) -> dict[Any, tuple[RunRecord, ...]]:
+        """Records bucketed by one axis label (or ``scenario``/``seed``),
+        in first-seen order."""
+        groups: dict[Any, list[RunRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.axis_value(key), []).append(record)
+        return {value: tuple(records)
+                for value, records in groups.items()}
+
+    def variants(self) -> dict[tuple[tuple[str, Any], ...],
+                               tuple[RunRecord, ...]]:
+        """Records grouped per variant (all seeds together), keyed by
+        the variant's ``(axis, value)`` pairs plus the scenario."""
+        groups: dict[tuple, list[RunRecord]] = {}
+        for record in self.records:
+            key = record.variant
+            if not any(name == "scenario" for name, _ in key):
+                key = (("scenario", record.scenario),) + key
+            groups.setdefault(key, []).append(record)
+        return {key: tuple(records) for key, records in groups.items()}
+
+    def summary_rows(self) -> tuple[list[str], list[list]]:
+        """``(header, rows)`` of the per-variant digest across seeds.
+
+        Means are averaged across the variant's seeds; ``spread`` is
+        the across-seed standard deviation of the mobile mean (0 for a
+        single seed).
+        """
+        header = ["scenario"]
+        header += [axis.label for axis in self.sweep.axes]
+        header += ["seeds", "mobile mean (ms)", "seed spread (ms)",
+                   "x wired", "exceedance (%)", "detour (km)"]
+        rows = []
+        for key, records in self.variants().items():
+            values = dict(key)
+            means = [r.summary.gap.mobile_mean_s * 1e3 for r in records]
+            row = [values.get("scenario", records[0].scenario)]
+            row += [values.get(axis.label) for axis in self.sweep.axes]
+            row += [
+                len(records),
+                pystats.fmean(means),
+                pystats.stdev(means) if len(means) > 1 else 0.0,
+                pystats.fmean(r.summary.gap.mobile_wired_factor
+                              for r in records),
+                pystats.fmean(r.summary.gap.exceedance_percent
+                              for r in records),
+                pystats.fmean(r.summary.detour_km for r in records),
+            ]
+            rows.append(row)
+        return header, rows
+
+    def to_csv(self, path: str | Path) -> str:
+        """Flat per-run CSV (one row per record); returns the path."""
+        header = ["run_id", "scenario", "seed", "density"]
+        header += [axis.label for axis in self.sweep.axes]
+        header += ["samples", "mobile_mean_ms", "wired_mean_ms",
+                   "mobile_wired_factor", "exceedance_percent",
+                   "max_cell", "max_cell_mean_ms", "detour_km"]
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", newline="") as handle:
+            writer = csv.writer(handle, lineterminator="\n")
+            writer.writerow(header)
+            for record in self.records:
+                gap = record.summary.gap
+                row = [record.run_id, record.scenario, record.seed,
+                       record.density]
+                row += [record.axis_value(axis.label)
+                        for axis in self.sweep.axes]
+                row += [record.summary.sample_count,
+                        f"{gap.mobile_mean_s * 1e3:.6f}",
+                        f"{gap.wired_mean_s * 1e3:.6f}",
+                        f"{gap.mobile_wired_factor:.6f}",
+                        f"{gap.exceedance_percent:.3f}",
+                        gap.max_cell_label,
+                        f"{gap.max_cell_mean_s * 1e3:.6f}",
+                        f"{record.summary.detour_km:.3f}"]
+                writer.writerow(row)
+        return str(target)
+
+
+class FleetStore:
+    """Reads and writes one fleet directory."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def save(self, result: FleetResult) -> dict[str, str]:
+        """Persist the manifest, every run record, and the flat CSV;
+        returns ``{name: path}`` for everything written."""
+        runs_dir = self.directory / RUNS_DIR
+        runs_dir.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, str] = {}
+        wall = list(result.run_wall_s) or [0.0] * len(result.records)
+        entries = []
+        for record, wall_s in zip(result.records, wall):
+            relative = f"{RUNS_DIR}/{record.run_id}.json"
+            (self.directory / relative).write_text(record.to_json() + "\n")
+            paths[record.run_id] = str(self.directory / relative)
+            entries.append({"run_id": record.run_id,
+                            "scenario": record.scenario,
+                            "seed": record.seed,
+                            "variant": [list(p) for p in record.variant],
+                            "file": relative,
+                            "wall_s": wall_s})
+        manifest = {"sweep": result.sweep.to_dict(),
+                    "jobs": result.jobs,
+                    "wall_s": result.wall_s,
+                    "runs": entries}
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2) + "\n")
+        paths["manifest"] = str(self.manifest_path)
+        paths["summary.csv"] = result.to_csv(
+            self.directory / "summary.csv")
+        return paths
+
+    def load(self) -> FleetResult:
+        """Reconstruct a :class:`FleetResult` from the directory."""
+        manifest = json.loads(self.manifest_path.read_text())
+        records = []
+        run_wall_s = []
+        for entry in manifest["runs"]:
+            text = (self.directory / entry["file"]).read_text()
+            records.append(RunRecord.from_json(text))
+            run_wall_s.append(entry.get("wall_s", 0.0))
+        return FleetResult(
+            sweep=SweepSpec.from_dict(manifest["sweep"]),
+            records=tuple(records),
+            run_wall_s=tuple(run_wall_s),
+            wall_s=manifest.get("wall_s", 0.0),
+            jobs=manifest.get("jobs", 1),
+        )

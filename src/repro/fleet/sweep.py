@@ -1,0 +1,254 @@
+"""Sweep declarations: a fleet of runs as one serializable value.
+
+A :class:`SweepSpec` is to a campaign what a
+:class:`~repro.scenarios.spec.ScenarioSpec` is to a city: plain data.
+It composes base scenario specs, named override axes, and a seed list
+into a grid of runs, mirroring the two-stage decomposition of
+stochastic programs — the first stage fixes the shared world (base
+spec + per-variant overrides), the second stage resolves each variant
+under every seed.  ``expand()`` flattens the sweep into concrete
+:class:`RunSpec` values; each finished run reduces to a
+:class:`RunRecord`, the portable result that crosses process
+boundaries and lands in the on-disk store.
+
+Every class here round-trips losslessly through ``to_dict``/``from_dict``
+and JSON, like the scenario layers they build on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..core.evaluation import EvaluationSummary
+from ..scenarios.spec import ScenarioSpec
+
+__all__ = ["RunRecord", "RunSpec", "SweepAxis", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One named dimension of a sweep: a dotted override path and the
+    values it takes."""
+
+    path: str                  #: dotted path for ``with_overrides``
+    values: tuple              #: plain JSON values, one per variant
+    name: str = ""             #: display name; defaults to ``path``
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("axis path must be non-empty")
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"axis {self.label!r} has no values")
+
+    @property
+    def label(self) -> str:
+        return self.name or self.path
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "values": list(self.values),
+                "name": self.name}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepAxis":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A fleet declaration: base specs x override axes x seeds.
+
+    ``mode="cartesian"`` crosses every axis with every other;
+    ``mode="zip"`` walks all axes in lockstep (they must share one
+    length).  Multiple base specs multiply the variant grid across
+    cities.  ``density`` is the drive-test sampling density
+    (``mean_positions_per_cell``) shared by every run.
+    """
+
+    bases: tuple[ScenarioSpec, ...]
+    axes: tuple[SweepAxis, ...] = ()
+    seeds: tuple[int, ...] = (42,)
+    mode: str = "cartesian"
+    density: float = 6.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bases", tuple(
+            b if isinstance(b, ScenarioSpec) else ScenarioSpec.from_dict(b)
+            for b in self.bases))
+        object.__setattr__(self, "axes", tuple(
+            a if isinstance(a, SweepAxis) else SweepAxis.from_dict(a)
+            for a in self.axes))
+        object.__setattr__(self, "seeds",
+                           tuple(int(s) for s in self.seeds))
+        if not self.bases:
+            raise ValueError("sweep needs at least one base scenario")
+        names = [b.name for b in self.bases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"base scenario names must be unique: {names}")
+        labels = [a.label for a in self.axes]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"axis labels must be unique: {labels}")
+        if not self.seeds:
+            raise ValueError("sweep needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(
+                f"seeds must be unique (run ids collide): {self.seeds}")
+        if self.mode not in ("cartesian", "zip"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        if self.mode == "zip":
+            lengths = {len(a.values) for a in self.axes}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"zipped axes must share one length, got {sorted(lengths)}")
+        if self.density <= 0:
+            raise ValueError("density must be positive")
+
+    # -- expansion --------------------------------------------------------
+
+    def combos(self) -> list[tuple[tuple[SweepAxis, Any], ...]]:
+        """Per-variant ``(axis, value)`` combinations, in sweep order."""
+        if not self.axes:
+            return [()]
+        if self.mode == "zip":
+            return [tuple(zip(self.axes, values))
+                    for values in zip(*(a.values for a in self.axes))]
+        return [tuple(zip(self.axes, values))
+                for values in itertools.product(
+                    *(a.values for a in self.axes))]
+
+    @property
+    def variant_count(self) -> int:
+        return len(self.bases) * len(self.combos())
+
+    @property
+    def run_count(self) -> int:
+        return self.variant_count * len(self.seeds)
+
+    def expand(self) -> tuple["RunSpec", ...]:
+        """Flatten into concrete runs: every base x variant x seed."""
+        runs = []
+        for base in self.bases:
+            for index, combo in enumerate(self.combos()):
+                patched = base.with_overrides(
+                    {axis.path: value for axis, value in combo})
+                variant = ((("scenario", base.name),)
+                           if len(self.bases) > 1 else ())
+                variant += tuple((axis.label, value)
+                                 for axis, value in combo)
+                for seed in self.seeds:
+                    runs.append(RunSpec(
+                        run_id=f"{base.name}-v{index:03d}-s{seed}",
+                        scenario=patched, seed=seed,
+                        density=self.density, variant=variant))
+        return tuple(runs)
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "bases": [b.to_dict() for b in self.bases],
+            "axes": [a.to_dict() for a in self.axes],
+            "seeds": list(self.seeds),
+            "mode": self.mode,
+            "density": self.density,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        return cls(**data)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def _variant_pairs(variant: Sequence) -> tuple[tuple[str, Any], ...]:
+    return tuple((str(k), v) for k, v in variant)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One concrete unit of fleet work: a patched spec at one seed."""
+
+    run_id: str
+    scenario: ScenarioSpec
+    seed: int
+    density: float = 6.0
+    variant: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.run_id:
+            raise ValueError("run id must be non-empty")
+        if not isinstance(self.scenario, ScenarioSpec):
+            object.__setattr__(self, "scenario",
+                               ScenarioSpec.from_dict(self.scenario))
+        object.__setattr__(self, "variant", _variant_pairs(self.variant))
+
+    def to_dict(self) -> dict:
+        return {"run_id": self.run_id,
+                "scenario": self.scenario.to_dict(),
+                "seed": self.seed, "density": self.density,
+                "variant": [list(p) for p in self.variant]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The portable result of one run: metadata + the summary record.
+
+    A pure function of ``(scenario, seed, density)`` — wall-clock
+    timing deliberately lives in the manifest, not here, so serial and
+    parallel executions of the same sweep produce bit-identical
+    records.
+    """
+
+    run_id: str
+    scenario: str
+    seed: int
+    density: float
+    variant: tuple[tuple[str, Any], ...]
+    summary: EvaluationSummary
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variant", _variant_pairs(self.variant))
+        if isinstance(self.summary, Mapping):
+            object.__setattr__(self, "summary",
+                               EvaluationSummary.from_dict(self.summary))
+
+    def axis_value(self, key: str, default: Any = None) -> Any:
+        """The run's value on one axis; ``scenario``/``seed`` always
+        resolve."""
+        for name, value in self.variant:
+            if name == key:
+                return value
+        if key == "scenario":
+            return self.scenario
+        if key == "seed":
+            return self.seed
+        return default
+
+    def to_dict(self) -> dict:
+        return {"run_id": self.run_id, "scenario": self.scenario,
+                "seed": self.seed, "density": self.density,
+                "variant": [list(p) for p in self.variant],
+                "summary": self.summary.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunRecord":
+        return cls(**data)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))

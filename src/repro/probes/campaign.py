@@ -99,6 +99,9 @@ class CampaignConfig:
     handover_prob: Mapping[CellId, float] = field(default_factory=dict)
     handover_interruption_s: float = 45e-3
     max_cell_load: float = 0.93
+    #: which radio site (index into the network's gNB list) approximates
+    #: the peer UEs' serving cell in the hairpin leg
+    peer_site_index: int = 0
 
     def __post_init__(self) -> None:
         if not self.targets and not self.default_targets:
@@ -118,6 +121,8 @@ class CampaignConfig:
             raise ValueError("interruption must be non-negative")
         if not 0.0 < self.max_cell_load < 1.0:
             raise ValueError("max cell load must be in (0, 1)")
+        if self.peer_site_index < 0:
+            raise ValueError("peer site index must be non-negative")
 
 
 class DriveTestCampaign:
@@ -131,6 +136,10 @@ class DriveTestCampaign:
             if not topo.has_node(gw.node_name):
                 raise KeyError(
                     f"gateway node {gw.node_name!r} not in topology")
+        if config.peer_site_index >= len(radio.gnbs()):
+            raise ValueError(
+                f"peer site index {config.peer_site_index} out of range: "
+                f"radio network has {len(radio.gnbs())} sites")
         self.grid = grid
         self.route = route
         self.radio = radio
@@ -199,11 +208,11 @@ class DriveTestCampaign:
             leg += self.routes.topology.round_trip(
                 path, PING_SIZE_BITS, rng_net).total
         # Peer's core leg: its gateway's processing + backhaul back down
-        # to the peer's serving gNB (approximated by the measuring UE's
-        # metro, i.e. the radio network's first site's distance).
+        # to the peer's serving gNB (approximated by the site selected
+        # by ``config.peer_site_index``, default the first).
         leg += 2.0 * peer_gateway.upf.sample_latency_s(
             rng_net, packet_bits=PING_SIZE_BITS)
-        peer_gnb = self.radio.gnbs()[0]
+        peer_gnb = self.radio.gnbs()[self.config.peer_site_index]
         leg += 2.0 * self._backhaul_one_way_s(
             peer_gnb.location, peer_gateway)
         # Peer's air interface.

@@ -122,3 +122,10 @@ class CellStatistics:
         for cell, agg in self._aggregates.items():
             out[cell.row, cell.col] = agg.std_s * 1e3
         return out
+
+    def count_matrix(self) -> np.ndarray:
+        """(rows x cols) matrix of per-cell measurement counts."""
+        out = np.zeros((self.grid.rows, self.grid.cols), dtype=np.int64)
+        for cell, agg in self._aggregates.items():
+            out[cell.row, cell.col] = agg.count
+        return out

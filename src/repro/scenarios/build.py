@@ -189,6 +189,7 @@ class BuiltScenario:
                            for label, p in camp.handover_prob},
             handover_interruption_s=camp.handover_interruption_s,
             max_cell_load=camp.max_cell_load,
+            peer_site_index=camp.peer_site_index,
         )
 
     # ------------------------------------------------------------------

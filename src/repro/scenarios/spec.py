@@ -27,8 +27,17 @@ Design rules:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, fields, replace
-from typing import Any, Mapping, Optional, Sequence
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import (
+    Any,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+    get_args,
+    get_origin,
+    get_type_hints,
+)
 
 from ..geo.coords import GeoPoint
 from ..geo.grid import Grid
@@ -60,6 +69,83 @@ def _pairs(mapping: Mapping | Sequence) -> tuple[tuple, ...]:
 
 def _int_pairs(seq: Sequence) -> tuple[tuple[int, int], ...]:
     return tuple((int(a), int(b)) for a, b in seq)
+
+
+def _is_optional(owner: Any, field_name: str) -> bool:
+    """Whether a dataclass field is declared ``Optional[...]``."""
+    hint = get_type_hints(type(owner)).get(field_name)
+    return (hint is not None and get_origin(hint) is Union
+            and type(None) in get_args(hint))
+
+
+def _coerced(old: Any, new: Any, path: str, *,
+             optional: bool = False) -> Any:
+    """``new`` checked (and minimally promoted) against the value it
+    replaces; raises :class:`TypeError` on a kind mismatch."""
+    if new is None:
+        if optional or old is None:
+            return None
+        raise TypeError(
+            f"override {path!r}: None is not allowed over non-optional "
+            f"{type(old).__name__} {old!r}")
+    if old is None:
+        return new                     # Optional field currently unset
+    if isinstance(old, bool) or isinstance(new, bool):
+        if isinstance(old, bool) and isinstance(new, bool):
+            return new
+    elif isinstance(old, float):
+        if isinstance(new, (int, float)):
+            return float(new)          # ints promote into float fields
+    elif isinstance(old, int):
+        if isinstance(new, int):
+            return new
+    elif isinstance(old, str):
+        if isinstance(new, str):
+            return new
+    elif is_dataclass(old):
+        if isinstance(new, type(old)):
+            return new
+        if isinstance(new, Mapping):
+            return type(old).from_dict(new)
+    elif isinstance(old, tuple):
+        if isinstance(new, (list, tuple)):
+            return tuple(new)          # __post_init__ normalises members
+    raise TypeError(
+        f"override {path!r}: cannot assign {type(new).__name__} "
+        f"{new!r} over {type(old).__name__} {old!r}")
+
+
+def _patched(value: Any, parts: Sequence[str], new: Any, path: str) -> Any:
+    """``value`` rebuilt with ``new`` applied at the dotted ``parts``."""
+    head, rest = parts[0], parts[1:]
+    if isinstance(value, tuple):
+        try:
+            index = int(head)
+        except ValueError:
+            raise KeyError(
+                f"override {path!r}: {head!r} is not an integer index "
+                f"into a tuple field") from None
+        if not 0 <= index < len(value):
+            raise KeyError(
+                f"override {path!r}: index {index} out of range "
+                f"(field has {len(value)} entries)")
+        replacement = (_patched(value[index], rest, new, path) if rest
+                       else _coerced(value[index], new, path))
+        return value[:index] + (replacement,) + value[index + 1:]
+    if is_dataclass(value):
+        names = [f.name for f in fields(value)]
+        if head not in names:
+            raise KeyError(
+                f"override {path!r}: {type(value).__name__} has no field "
+                f"{head!r}; known: {', '.join(names)}")
+        current = getattr(value, head)
+        replacement = (_patched(current, rest, new, path) if rest
+                       else _coerced(current, new, path,
+                                     optional=_is_optional(value, head)))
+        return replace(value, **{head: replacement})
+    raise KeyError(
+        f"override {path!r}: cannot descend into "
+        f"{type(value).__name__} at {head!r}")
 
 
 @dataclass(frozen=True)
@@ -395,6 +481,8 @@ class CampaignSpec:
     handover_prob: tuple[tuple[str, float], ...] = ()
     handover_interruption_s: float = 45e-3
     max_cell_load: float = 0.93
+    #: radio-site index approximating the peer UEs' serving cell
+    peer_site_index: int = 0
     #: drive-route dwell weighting: "population" or "uniform"
     route_weighting: str = "population"
     min_samples: int = 2
@@ -439,6 +527,7 @@ class CampaignSpec:
             "handover_prob": [list(p) for p in self.handover_prob],
             "handover_interruption_s": self.handover_interruption_s,
             "max_cell_load": self.max_cell_load,
+            "peer_site_index": self.peer_site_index,
             "route_weighting": self.route_weighting,
             "min_samples": self.min_samples,
         }
@@ -547,3 +636,30 @@ class ScenarioSpec:
     def override(self, **changes: Any) -> "ScenarioSpec":
         """A copy with top-level fields replaced (spec-level what-ifs)."""
         return replace(self, **changes)
+
+    def with_overrides(self, overrides: Mapping[str, Any]
+                       ) -> "ScenarioSpec":
+        """A copy with dotted-path patches applied through the layers.
+
+        Paths name nested dataclass fields, with integer segments
+        indexing into tuple fields::
+
+            spec.with_overrides({
+                "campaign.handover_interruption_s": 30e-3,
+                "radio.sites.0.load": 0.7,
+                "population.density_threshold": 800.0,
+            })
+
+        An unknown path raises :class:`KeyError` (naming the known
+        fields), a value of the wrong kind raises :class:`TypeError`,
+        and ints promote into float fields.  Every patched layer is
+        rebuilt through its constructor, so layer validation
+        (``__post_init__``) reruns on the result.
+        """
+        spec = self
+        for path, value in overrides.items():
+            parts = path.split(".")
+            if not path or any(not p for p in parts):
+                raise KeyError(f"malformed override path {path!r}")
+            spec = _patched(spec, parts, value, path)
+        return spec

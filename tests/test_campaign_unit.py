@@ -191,3 +191,38 @@ def test_handover_probability_adds_interruptions(world):
         position, cell, "probe") for _ in range(20)])
     # p=1 adds U(0.5, 1)*200 ms every sample.
     assert rtt_stormy - rtt_calm > 0.09
+
+
+# ---------------------------------------------------------------------------
+# Peer-site placement knob
+# ---------------------------------------------------------------------------
+
+def test_peer_site_index_must_be_in_radio_range(world):
+    grid, radio, routes, gateways = world
+    with pytest.raises(ValueError, match="non-negative"):
+        make_config(gateways, peer_site_index=-1)
+    # the fixture's radio network has a single site
+    config = make_config(gateways, peer_site_index=1)
+    with pytest.raises(ValueError, match="out of range"):
+        make_campaign(world, config)
+
+
+def test_peer_site_index_default_is_bit_for_bit_unchanged():
+    """Explicit index 0 reproduces the legacy first-site approximation."""
+    from repro.scenarios import build, klagenfurt
+
+    baseline = build(klagenfurt(), seed=42).run_campaign(2.0)
+    explicit = build(klagenfurt().with_overrides(
+        {"campaign.peer_site_index": 0}), seed=42).run_campaign(2.0)
+    assert np.array_equal(baseline.rtts, explicit.rtts)
+
+
+def test_peer_site_index_moves_the_peer_leg():
+    from repro.scenarios import build, klagenfurt
+
+    assert len(klagenfurt().radio.sites) > 1
+    baseline = build(klagenfurt(), seed=42).run_campaign(2.0)
+    moved = build(klagenfurt().with_overrides(
+        {"campaign.peer_site_index": 1}), seed=42).run_campaign(2.0)
+    assert len(baseline) == len(moved)
+    assert not np.array_equal(baseline.rtts, moved.rtts)

@@ -150,6 +150,11 @@ def test_save_artifacts_round_trip(tmp_path):
     expected = {"figure2.txt", "figure3.txt", "table1.txt",
                 "gap_summary.txt", "campaign.csv", "wired_baseline.csv"}
     assert set(paths) == expected
+    # every returned path points at the file actually written
+    from pathlib import Path
+    for name, path in paths.items():
+        assert Path(path) == tmp_path / "artifacts" / name
+        assert Path(path).is_file() and Path(path).stat().st_size > 0
     fig2 = (tmp_path / "artifacts" / "figure2.txt").read_text()
     assert "Urban Mean Round-trip Time Latency" in fig2
     gap = (tmp_path / "artifacts" / "gap_summary.txt").read_text()

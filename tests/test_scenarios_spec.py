@@ -174,3 +174,81 @@ def test_built_scenario_without_baseline_endpoints_raises():
         city.wired_baseline()
     with pytest.raises(ValueError):
         city.reference_trace()
+
+
+# ---------------------------------------------------------------------------
+# with_overrides (dotted-path patches)
+# ---------------------------------------------------------------------------
+
+def test_with_overrides_patches_nested_layers():
+    patched = klagenfurt().with_overrides({
+        "campaign.handover_interruption_s": 30e-3,
+        "population.density_threshold": 800.0,
+        "radio.sites.0.load": 0.7,
+    })
+    assert patched.campaign.handover_interruption_s == 30e-3
+    assert patched.population.density_threshold == 800.0
+    assert patched.radio.sites[0].load == 0.7
+    # untouched siblings survive, and the base spec is unchanged
+    assert patched.radio.sites[1:] == klagenfurt().radio.sites[1:]
+    assert klagenfurt().campaign.handover_interruption_s != 30e-3
+
+
+def test_with_overrides_unknown_path_is_clean_keyerror():
+    with pytest.raises(KeyError, match="no field 'frobnicate'"):
+        klagenfurt().with_overrides({"campaign.frobnicate": 1.0})
+    with pytest.raises(KeyError, match="known:"):
+        klagenfurt().with_overrides({"grid.diameter": 1.0})
+    with pytest.raises(KeyError, match="out of range"):
+        klagenfurt().with_overrides({"radio.sites.99.load": 0.5})
+    with pytest.raises(KeyError, match="not an integer index"):
+        klagenfurt().with_overrides({"radio.sites.first.load": 0.5})
+    with pytest.raises(KeyError, match="malformed"):
+        klagenfurt().with_overrides({"campaign..load": 0.5})
+
+
+def test_with_overrides_type_mismatch_is_typeerror():
+    with pytest.raises(TypeError):
+        klagenfurt().with_overrides(
+            {"campaign.handover_interruption_s": "slow"})
+    with pytest.raises(TypeError):
+        klagenfurt().with_overrides({"grid.cols": 6.5})     # int field
+    with pytest.raises(TypeError):
+        klagenfurt().with_overrides({"name": 7})            # str field
+    with pytest.raises(TypeError):
+        klagenfurt().with_overrides(
+            {"radio.configured_grant": 1})                  # bool field
+
+
+def test_with_overrides_none_only_for_optional_fields():
+    # klagenfurt's congestion field is Optional and set; clearing works
+    cleared = klagenfurt().with_overrides(
+        {"campaign.extra_load_range": None})
+    assert cleared.campaign.extra_load_range is None
+    # but None cannot overwrite a required field
+    with pytest.raises(TypeError, match="non-optional"):
+        klagenfurt().with_overrides({"grid.cols": None})
+
+
+def test_with_overrides_promotes_int_into_float_field():
+    patched = klagenfurt().with_overrides({"grid.cell_size_m": 500})
+    assert patched.grid.cell_size_m == 500.0
+    assert isinstance(patched.grid.cell_size_m, float)
+
+
+def test_with_overrides_reruns_layer_validation():
+    with pytest.raises(ValueError, match="route weighting"):
+        klagenfurt().with_overrides(
+            {"campaign.route_weighting": "scenic"})
+
+
+def test_patched_spec_round_trips_through_json():
+    patched = klagenfurt().with_overrides({
+        "campaign.handover_interruption_s": 30e-3,
+        "radio.sites.0.load": 0.7,
+        "campaign.peer_site_index": 1,
+    })
+    restored = ScenarioSpec.from_json(patched.to_json())
+    assert restored == patched
+    assert restored != klagenfurt()
+    assert restored.campaign.peer_site_index == 1
