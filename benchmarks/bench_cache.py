@@ -1,0 +1,77 @@
+"""Result cache — cold vs. warm execution of the same fleet.
+
+Times the 8-variant x 4-seed fleet (both registered cities x four
+handover-interruption settings) twice against one content-addressed
+cache: the cold pass computes and stores all 32 records, the warm pass
+must serve every one of them from disk without a single evaluation,
+bit-identically.  The printed speedup is the headline number for
+"never pay for the same (spec, seed, density) twice".
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cache.py -s
+"""
+
+import os
+import time
+
+from repro.fleet import SweepAxis, SweepSpec, run_sweep
+from repro.scenarios import klagenfurt, skopje
+
+#: Worker count; ``os.cpu_count()`` under-reports in containers with a
+#: cgroup CPU quota, so default to the sweep's natural width of 4.
+JOBS = int(os.environ.get("FLEET_BENCH_JOBS", "4"))
+
+
+def make_sweep() -> SweepSpec:
+    """8 variants x 4 seeds at light sampling density: 32 runs."""
+    return SweepSpec(
+        bases=(klagenfurt(), skopje()),
+        axes=(SweepAxis("campaign.handover_interruption_s",
+                        (30e-3, 45e-3, 60e-3, 75e-3)),),
+        seeds=(42, 43, 44, 45),
+        density=2.0,
+    )
+
+
+def test_cold_vs_warm_cache_speedup(tmp_path):
+    sweep = make_sweep()
+    assert sweep.run_count == 32
+    cache = tmp_path / "cache"
+
+    started = time.perf_counter()
+    cold = run_sweep(sweep, jobs=JOBS, cache=cache)
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = run_sweep(sweep, jobs=JOBS, cache=cache)
+    warm_s = time.perf_counter() - started
+
+    # The cache contract: the warm pass computes nothing, and what it
+    # serves is bit-identical to what the cold pass computed.
+    assert cold.cached_count == 0
+    assert warm.cached_count == len(warm) == 32
+    assert [r.to_dict() for r in warm.records] == \
+        [r.to_dict() for r in cold.records]
+
+    print(f"\n32-run fleet: cold {cold_s:.2f} s, warm (fully cached) "
+          f"{warm_s:.2f} s -> speedup {cold_s / warm_s:.1f}x")
+
+
+def test_warm_pass_beats_recompute_by_a_wide_margin(tmp_path):
+    """A cache hit costs file IO, not a drive-test campaign."""
+    sweep = make_sweep()
+    cache = tmp_path / "cache"
+    cold = run_sweep(sweep, jobs=JOBS, cache=cache)
+
+    started = time.perf_counter()
+    warm = run_sweep(sweep, cache=cache)      # serial: hits don't need workers
+    warm_s = time.perf_counter() - started
+
+    busy = sum(cold.run_wall_s)
+    assert warm.cached_count == 32
+    # Serving 32 records from cache must be far cheaper than the
+    # cumulative compute the cold pass spent producing them.
+    assert warm_s < busy / 2
+    print(f"\nwarm serial pass {warm_s:.3f} s vs {busy:.2f} s of "
+          f"cold compute ({busy / warm_s:.0f}x)")

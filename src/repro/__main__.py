@@ -8,7 +8,8 @@ evaluate      run the Section IV campaign, print Fig. 2/3, Table I and
 scenarios     list registered scenarios, or dump one as JSON
 sweep         run a parameter sweep / multi-seed fleet over scenario
               specs (``--set path=v1,v2,...`` per axis, ``--seeds``,
-              ``--jobs``, ``--out``)
+              ``--backend``, ``--jobs``, ``--cache``, ``--out``;
+              ``--resume`` finishes an interrupted fleet directory)
 peering       run the Section V-A local-peering what-if
 upf           run the Section V-B UPF placement comparison
 cpf           run the Section V-C control-plane comparison
@@ -107,45 +108,65 @@ def _parse_seeds(text: str) -> tuple[int, ...]:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .fleet import SweepAxis, SweepSpec, fleet_summary, run_sweep
+    from .fleet import (FleetStore, SweepAxis, SweepSpec, fleet_summary,
+                        run_sweep)
 
+    backend = None if args.backend == "auto" else args.backend
+    cache = args.cache or None
+
+    def progress(done: int, total: int, record) -> None:
+        print(f"  [{done}/{total}] {record.run_id}: "
+              f"{units.to_ms(record.summary.gap.mobile_mean_s):.1f} ms "
+              f"mobile mean")
+
+    progress_fn = progress if args.progress else None
     try:
-        if args.spec:
-            bases = [scenarios.load_spec(args.spec)]
-        else:
-            bases = [scenarios.get(name.strip())
-                     for name in args.scenario.split(",")]
-        axes = []
-        for setting in args.set or []:
-            path, sep, values = setting.partition("=")
-            if not sep or not values:
+        if args.resume:
+            if not args.out:
                 raise ValueError(
-                    f"--set wants path=v1,v2,..., got {setting!r}")
-            axes.append(SweepAxis(
-                path=path.strip(),
-                values=tuple(_parse_value(v) for v in values.split(","))))
-        sweep = SweepSpec(
-            bases=tuple(bases), axes=tuple(axes),
-            seeds=_parse_seeds(args.seeds),
-            mode="zip" if args.zip else "cartesian",
-            density=args.density)
-        print(f"expanding {sweep.variant_count} variants x "
-              f"{len(sweep.seeds)} seeds = {sweep.run_count} runs "
-              f"(jobs={args.jobs})")
-
-        def progress(done: int, total: int, record) -> None:
-            print(f"  [{done}/{total}] {record.run_id}: "
-                  f"{units.to_ms(record.summary.gap.mobile_mean_s):.1f} ms "
-                  f"mobile mean")
-
-        result = run_sweep(sweep, jobs=args.jobs,
-                           out=args.out or None, progress=progress)
+                    "--resume needs --out DIR (the fleet to finish)")
+            print(f"resuming {args.out}/ (jobs={args.jobs})")
+            result = FleetStore(args.out).resume(
+                jobs=args.jobs, executor=backend, cache=cache,
+                progress=progress_fn)
+            print(f"re-ran {len(result) - result.cached_count} missing "
+                  f"runs, reused {result.cached_count}")
+        else:
+            if args.spec:
+                bases = [scenarios.load_spec(args.spec)]
+            else:
+                bases = [scenarios.get(name.strip())
+                         for name in args.scenario.split(",")]
+            axes = []
+            for setting in args.set or []:
+                path, sep, values = setting.partition("=")
+                if not sep or not values:
+                    raise ValueError(
+                        f"--set wants path=v1,v2,..., got {setting!r}")
+                axes.append(SweepAxis(
+                    path=path.strip(),
+                    values=tuple(_parse_value(v)
+                                 for v in values.split(","))))
+            sweep = SweepSpec(
+                bases=tuple(bases), axes=tuple(axes),
+                seeds=_parse_seeds(args.seeds),
+                mode="zip" if args.zip else "cartesian",
+                density=args.density)
+            print(f"expanding {sweep.variant_count} variants x "
+                  f"{len(sweep.seeds)} seeds = {sweep.run_count} runs "
+                  f"(backend={args.backend}, jobs={args.jobs})")
+            result = run_sweep(sweep, jobs=args.jobs, executor=backend,
+                               cache=cache, out=args.out or None,
+                               progress=progress_fn)
     except (KeyError, OSError, TypeError, ValueError) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
     print()
     print(fleet_summary(result))
+    if result.cached_count:
+        print(f"cache/resume: {result.cached_count}/{len(result)} "
+              f"records reused without recompute")
     if args.out:
         print(f"\nmanifest + per-run records + summary.csv in {args.out}/")
     return 0
@@ -253,6 +274,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="with sweep: worker processes (default 1 "
                              "= serial)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "serial", "process", "thread"],
+                        help="with sweep: execution backend (auto = "
+                             "serial when --jobs 1, else process)")
+    parser.add_argument("--cache", default="", metavar="DIR",
+                        help="with sweep: content-addressed result "
+                             "cache directory; hits skip recompute")
+    parser.add_argument("--resume", action="store_true",
+                        help="with sweep: finish the fleet in --out, "
+                             "re-running only missing records")
+    parser.add_argument("--progress", action="store_true",
+                        help="with sweep: print one done/total line "
+                             "per finished run (default quiet)")
     parser.add_argument("--out", default="",
                         help="with sweep: directory for manifest + "
                              "per-run records + CSV")

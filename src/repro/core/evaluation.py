@@ -10,9 +10,10 @@ a registered scenario name (``"klagenfurt"``, ``"skopje"``, ...), a
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Callable, Mapping, Optional, Union
 
 import numpy as np
 
@@ -29,8 +30,10 @@ __all__ = ["EvaluationResult", "EvaluationSummary",
            "InfrastructureEvaluation"]
 
 
-def _matrix(value) -> tuple[tuple, ...]:
-    return tuple(tuple(row) for row in value)
+def _matrix(value, cast: Callable = float) -> tuple[tuple, ...]:
+    # Coerce cells to plain Python scalars: stray numpy floats would
+    # serialize differently (or not at all) and break digest stability.
+    return tuple(tuple(cast(cell) for cell in row) for row in value)
 
 
 @dataclass(frozen=True)
@@ -60,7 +63,7 @@ class EvaluationSummary:
         object.__setattr__(self, "std_matrix_ms",
                            _matrix(self.std_matrix_ms))
         object.__setattr__(self, "count_matrix",
-                           _matrix(self.count_matrix))
+                           _matrix(self.count_matrix, cast=int))
         if isinstance(self.gap, Mapping):
             object.__setattr__(self, "gap", GapReport(**self.gap))
 
@@ -85,6 +88,17 @@ class EvaluationSummary:
     def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationSummary":
         return cls(**data)
 
+    def canonical_json(self) -> str:
+        """Digest-stable serialization: sorted keys, compact separators.
+
+        Structurally equal summaries always produce identical bytes.
+        Uses the same rules as :func:`repro.fleet.cache.canonical_dumps`
+        (which hashes record payloads embedding this dict), kept local
+        because :mod:`repro.core` sits below the fleet layer.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
 
 @dataclass
 class EvaluationResult:
@@ -104,12 +118,9 @@ class EvaluationResult:
             seed=self.scenario.seed,
             mean_positions_per_cell=self.mean_positions_per_cell,
             sample_count=len(self.dataset),
-            mean_matrix_ms=_matrix(
-                self.statistics.mean_matrix_ms().tolist()),
-            std_matrix_ms=_matrix(
-                self.statistics.std_matrix_ms().tolist()),
-            count_matrix=_matrix(
-                self.statistics.count_matrix().tolist()),
+            mean_matrix_ms=self.statistics.mean_matrix_ms().tolist(),
+            std_matrix_ms=self.statistics.std_matrix_ms().tolist(),
+            count_matrix=self.statistics.count_matrix().tolist(),
             gap=self.gap,
             detour_km=self.figure4_km(),
         )

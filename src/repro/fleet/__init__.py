@@ -2,9 +2,15 @@
 
 Where :mod:`repro.scenarios` makes one city serializable data, this
 package makes *many runs* data: a :class:`SweepSpec` (base specs x
-override axes x seeds) expands into :class:`RunSpec` units executed by
-:func:`run_sweep` — serially or across a process pool — each reducing
-to a portable :class:`RunRecord` persisted by :class:`FleetStore`.
+override axes x seeds) expands into :class:`RunSpec` units driven by
+:func:`run_sweep` through a pluggable :class:`Executor` backend —
+in-process serial, process pool, or thread pool — each run reducing to
+a portable :class:`RunRecord` persisted by :class:`FleetStore`.  A
+content-addressed :class:`ResultCache` (keys are SHA-256 digests of
+``(spec, seed, density)``) wraps any backend via
+:class:`CachingExecutor` so recomputation is never paid twice, and an
+interrupted sweep's directory resumes with
+:meth:`FleetStore.resume` / :func:`resume_sweep`.
 
 Quickstart::
 
@@ -17,23 +23,40 @@ Quickstart::
                         (30e-3, 45e-3, 60e-3)),),
         seeds=(42, 43, 44, 45),
     )
-    result = run_sweep(sweep, jobs=4, out="fleet-out")
+    result = run_sweep(sweep, jobs=4, cache="result-cache",
+                       out="fleet-out")
     print(fleet_summary(result))
 
 Or from the shell::
 
     python -m repro sweep --scenario klagenfurt,skopje \\
         --set campaign.handover_interruption_s=0.03,0.045,0.06 \\
-        --seeds 42:46 --jobs 4 --out fleet-out
+        --seeds 42:46 --backend process --jobs 4 \\
+        --cache result-cache --out fleet-out
+    python -m repro sweep --resume --out fleet-out   # finish a kill -9'd run
 """
 
+from .cache import CacheStats, CachingExecutor, ResultCache, run_key
+from .executors import (
+    BACKENDS,
+    Executor,
+    ProcessPoolBackend,
+    RunOutcome,
+    SerialExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
 from .report import fleet_summary, write_csv
-from .runner import run_one, run_sweep
-from .store import FleetResult, FleetStore
+from .runner import resume_sweep, run_one, run_sweep
+from .store import FleetResult, FleetStore, SCHEMA_VERSION
 from .sweep import RunRecord, RunSpec, SweepAxis, SweepSpec
 
 __all__ = [
+    "BACKENDS", "CacheStats", "CachingExecutor", "Executor",
     "FleetResult", "FleetStore",
-    "RunRecord", "RunSpec", "SweepAxis", "SweepSpec",
-    "fleet_summary", "run_one", "run_sweep", "write_csv",
+    "ProcessPoolBackend", "ResultCache",
+    "RunOutcome", "RunRecord", "RunSpec", "SCHEMA_VERSION",
+    "SerialExecutor", "SweepAxis", "SweepSpec", "ThreadedExecutor",
+    "fleet_summary", "make_executor", "resume_sweep", "run_key",
+    "run_one", "run_sweep", "write_csv",
 ]

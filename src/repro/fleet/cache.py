@@ -1,0 +1,226 @@
+"""Content-addressed result cache + the caching executor wrapper.
+
+A :class:`~repro.fleet.sweep.RunRecord` is a pure function of
+``(spec, seed, density)``, so those inputs *are* the cache key:
+:func:`run_key` hashes their canonical JSON (sorted keys, compact
+separators — see :func:`canonical_dumps`) into a SHA-256 digest, and
+:class:`ResultCache` stores one record per digest on disk::
+
+    <cache>/
+      objects/
+        <key[:2]>/
+          <key>.json   # {"key", "payload_sha256", "record"}
+
+Each entry carries a second digest over the record payload itself, so
+a corrupted or half-written entry is detected on read, dropped, and
+transparently recomputed.  :class:`CachingExecutor` wraps any
+:class:`~repro.fleet.executors.Executor` with read-through/write-back
+semantics: hits return in zero compute, misses flow to the inner
+backend and are stored on the way out.  Because the key ignores
+sweep-local metadata (``run_id``, variant labels), records cached by
+one sweep serve any other sweep that reaches the same
+``(spec, seed, density)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterator, Optional, Sequence, Union
+
+from ..scenarios.spec import ScenarioSpec
+from .executors import Executor, RunOutcome
+from .sweep import RunRecord, RunSpec
+
+__all__ = [
+    "CacheStats",
+    "CachingExecutor",
+    "ResultCache",
+    "canonical_dumps",
+    "run_key",
+]
+
+OBJECTS_DIR = "objects"
+
+
+def canonical_dumps(value: Any) -> str:
+    """Digest-stable JSON: sorted keys, compact separators.
+
+    Two structurally equal values always serialize to the same bytes,
+    so hashing this text gives a stable content address.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def run_key(spec: ScenarioSpec, seed: int, density: float) -> str:
+    """SHA-256 content address of one run's complete inputs."""
+    payload = {"spec": spec.to_dict(), "seed": int(seed),
+               "density": float(density)}
+    return hashlib.sha256(canonical_dumps(payload).encode()).hexdigest()
+
+
+def _payload_sha256(record_dict: dict) -> str:
+    return hashlib.sha256(canonical_dumps(record_dict).encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Live counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+
+class ResultCache:
+    """One on-disk content-addressed store of run records."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.stats = CacheStats()
+
+    def key_for(self, run: RunSpec) -> str:
+        return run_key(run.scenario, run.seed, run.density)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / OBJECTS_DIR / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        """The cached record, or ``None`` on miss *or* corruption.
+
+        A corrupt entry (unparseable, wrong shape, or payload digest
+        mismatch) is deleted so the caller's recompute can overwrite it
+        cleanly.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+            if _payload_sha256(entry["record"]) != entry["payload_sha256"]:
+                raise ValueError("payload digest mismatch")
+            record = RunRecord.from_dict(entry["record"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (KeyError, TypeError, ValueError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: RunRecord) -> Path:
+        """Store one record under its key; atomic against readers."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record_dict = record.to_dict()
+        entry = {"key": key,
+                 "payload_sha256": _payload_sha256(record_dict),
+                 "record": record_dict}
+        staging = path.with_suffix(".json.tmp")
+        staging.write_text(json.dumps(entry, indent=2) + "\n")
+        staging.replace(path)
+        self.stats.stores += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        objects = self.directory / OBJECTS_DIR
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))
+
+
+class CachingExecutor:
+    """Read-through, write-back cache over any executor backend."""
+
+    def __init__(self, inner: Executor,
+                 cache: Union[ResultCache, str, Path]):
+        self.inner = inner
+        self.cache = (cache if isinstance(cache, ResultCache)
+                      else ResultCache(cache))
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def jobs(self) -> int:
+        return getattr(self.inner, "jobs", 1)
+
+    @staticmethod
+    def _rebind(record: RunRecord, run: RunSpec) -> RunRecord:
+        """A cached record re-labelled for this sweep's bookkeeping.
+
+        The summary is content-addressed; ``run_id`` and variant labels
+        are sweep-local metadata, so a record cached by one sweep slots
+        into any other that reaches the same key.
+        """
+        if record.run_id == run.run_id and record.variant == run.variant:
+            return record
+        return replace(record, run_id=run.run_id, variant=run.variant)
+
+    def submit(self, run: RunSpec) -> "Future[RunOutcome]":
+        key = self.cache.key_for(run)
+        record = self.cache.get(key)
+        if record is not None:
+            future: "Future[RunOutcome]" = Future()
+            future.set_result(RunOutcome(record=self._rebind(record, run),
+                                         wall_s=0.0, cached=True))
+            return future
+        inner_future = self.inner.submit(run)
+        outer: "Future[RunOutcome]" = Future()
+
+        def _store(done: Future) -> None:
+            # Any failure here — the run's own error, cancellation, an
+            # unwritable cache — must land on the outer future, or
+            # callers of ``result()`` would block forever.
+            try:
+                outcome = done.result()
+                self.cache.put(key, outcome.record)
+                outer.set_result(outcome)
+            except BaseException as exc:
+                outer.set_exception(exc)
+
+        inner_future.add_done_callback(_store)
+        return outer
+
+    def map(self, runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
+        runs = list(runs)
+        keys = [self.cache.key_for(run) for run in runs]
+        hits: dict[int, RunRecord] = {}
+        miss_indices: list[int] = []
+        for index, key in enumerate(keys):
+            record = self.cache.get(key)
+            if record is None:
+                miss_indices.append(index)
+            else:
+                hits[index] = record
+        fresh = (self.inner.map([runs[i] for i in miss_indices])
+                 if miss_indices else iter(()))
+        # Miss indices are increasing and the inner backend yields in
+        # submission order, so one forward walk streams both sources
+        # back into expansion order.
+        for index, run in enumerate(runs):
+            if index in hits:
+                yield RunOutcome(record=self._rebind(hits[index], run),
+                                 wall_s=0.0, cached=True)
+            else:
+                outcome = next(fresh)
+                self.cache.put(keys[index], outcome.record)
+                yield outcome
+
+    def close(self, *, cancel: bool = False) -> None:
+        self.inner.close(cancel=cancel)
+
+    def __enter__(self) -> "CachingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

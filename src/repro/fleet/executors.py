@@ -1,0 +1,267 @@
+"""Pluggable execution backends: the seam distributed fleets plug into.
+
+The :class:`Executor` protocol is deliberately tiny — ``submit`` one
+:class:`~repro.fleet.sweep.RunSpec` for a future, ``map`` many for an
+ordered stream of :class:`RunOutcome` values, ``close`` when done — so
+any backend that can move a JSON-sized payload can implement it: the
+three shipped here (in-process serial, process pool, thread pool), a
+result cache wrapping any of them
+(:class:`~repro.fleet.cache.CachingExecutor`), or a future remote
+worker fleet.
+
+The unit of work is :func:`run_one` — a pure, top-level, picklable
+function from ``(spec JSON, seed, density)`` to a
+:class:`~repro.fleet.sweep.RunRecord`.  Nothing heavyweight crosses an
+executor boundary: workers receive a plain ``RunSpec`` dict and return
+a plain outcome dict, so the pool backends ship only JSON-sized
+payloads while the compiled world and raw dataset die with the worker.
+
+Determinism contract: a record is a function of ``(spec, seed,
+density)`` alone (the scenario compiler draws every stochastic value
+from per-seed named streams), so every backend yields bit-identical
+records in expansion order; :mod:`tests.test_fleet_executors` pins
+this.  Execution metadata (wall time, cache provenance) rides on the
+:class:`RunOutcome` envelope, never on the record itself.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterator, Protocol, Sequence, runtime_checkable
+
+from ..core.evaluation import InfrastructureEvaluation
+from ..scenarios.spec import ScenarioSpec
+from .sweep import RunRecord, RunSpec
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ProcessPoolBackend",
+    "RunOutcome",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "execute_run",
+    "make_executor",
+    "run_one",
+]
+
+
+def run_one(spec_json: str, seed: int, density: float = 6.0, *,
+            run_id: str = "", variant: tuple = ()) -> RunRecord:
+    """Evaluate one scenario at one seed; return its summary record.
+
+    Top-level and argument-pure so it pickles into worker processes:
+    the spec travels as JSON, the result as plain values.  The fallback
+    ``run_id`` embeds a content digest so two variants that share a
+    scenario name and seed (differing only in overrides) never collide.
+    """
+    spec = ScenarioSpec.from_json(spec_json)
+    if not run_id:
+        from .cache import run_key  # deferred: cache builds on this module
+        run_id = f"{spec.name}-s{seed}-{run_key(spec, seed, density)[:8]}"
+    result = InfrastructureEvaluation(
+        seed=seed, mean_positions_per_cell=density, scenario=spec).run()
+    return RunRecord(
+        run_id=run_id,
+        scenario=spec.name,
+        seed=seed,
+        density=density,
+        variant=tuple(variant),
+        summary=result.summary(),
+    )
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One finished run plus execution metadata.
+
+    ``wall_s`` and ``cached`` describe *this* execution, so they live
+    here on the envelope — the :class:`RunRecord` stays a pure function
+    of ``(spec, seed, density)`` and compares bit-identical across
+    backends, reruns, and cache hits.
+    """
+
+    record: RunRecord
+    wall_s: float
+    cached: bool = False
+
+
+def execute_run(run_dict: dict) -> dict:
+    """Worker entry point: RunSpec dict in, timed outcome dict out."""
+    run = RunSpec.from_dict(run_dict)
+    started = time.perf_counter()
+    record = run_one(run.scenario.to_json(indent=0), run.seed,
+                     run.density, run_id=run.run_id, variant=run.variant)
+    return {"record": record.to_dict(),
+            "wall_s": time.perf_counter() - started}
+
+
+def _outcome(payload: dict) -> RunOutcome:
+    return RunOutcome(record=RunRecord.from_dict(payload["record"]),
+                      wall_s=payload["wall_s"],
+                      cached=bool(payload.get("cached", False)))
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """What :func:`~repro.fleet.runner.run_sweep` needs from a backend.
+
+    ``map`` must yield outcomes in the order the runs were given —
+    callers rely on expansion order for progress, persistence, and
+    bit-identical record lists across backends.
+    """
+
+    name: str
+
+    def submit(self, run: RunSpec) -> "Future[RunOutcome]":
+        """Schedule one run; the future resolves to its outcome."""
+        ...
+
+    def map(self, runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
+        """Execute every run, yielding outcomes in input order."""
+        ...
+
+    def close(self, *, cancel: bool = False) -> None:
+        """Release workers; ``cancel`` drops runs not yet started."""
+        ...
+
+
+class SerialExecutor:
+    """In-process, one run at a time — the ``jobs=1`` behavior."""
+
+    name = "serial"
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = 1  # serial by definition; ``jobs`` accepted for symmetry
+
+    def submit(self, run: RunSpec) -> "Future[RunOutcome]":
+        future: "Future[RunOutcome]" = Future()
+        try:
+            future.set_result(_outcome(execute_run(run.to_dict())))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+    def map(self, runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
+        for run in runs:
+            yield _outcome(execute_run(run.to_dict()))
+
+    def close(self, *, cancel: bool = False) -> None:
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _PoolBackend:
+    """Shared submit/map plumbing over a ``concurrent.futures`` pool.
+
+    The pool is created lazily at first use — sized to the work for
+    ``map``, to ``jobs`` for ``submit`` — and torn down by ``close``.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int = 2):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._pool = None
+
+    def _make_pool(self, width: int):
+        raise NotImplementedError
+
+    def _ensure_pool(self):
+        # Always sized to ``jobs``: both pool kinds start workers on
+        # demand, so a small first sweep costs nothing extra and a big
+        # later one still gets the full width.
+        if self._pool is None:
+            self._pool = self._make_pool(self.jobs)
+        return self._pool
+
+    def submit(self, run: RunSpec) -> "Future[RunOutcome]":
+        inner = self._ensure_pool().submit(execute_run, run.to_dict())
+        outer: "Future[RunOutcome]" = Future()
+
+        def _transfer(done: Future) -> None:
+            # Everything — the run's own error, cancellation, a decode
+            # failure — must land on the outer future, or callers of
+            # ``result()`` would block forever.
+            try:
+                outer.set_result(_outcome(done.result()))
+            except BaseException as exc:
+                outer.set_exception(exc)
+
+        inner.add_done_callback(_transfer)
+        return outer
+
+    def map(self, runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
+        runs = list(runs)
+        if not runs:
+            return
+        for payload in self._ensure_pool().map(
+                execute_run, [run.to_dict() for run in runs]):
+            yield _outcome(payload)
+
+    def close(self, *, cancel: bool = False) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=cancel)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Fan out over worker processes — the ``jobs=N`` behavior.
+
+    Payloads cross the boundary as plain dicts, so records are
+    bit-identical to :class:`SerialExecutor` output.
+    """
+
+    name = "process"
+
+    def _make_pool(self, width: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=width)
+
+
+class ThreadedExecutor(_PoolBackend):
+    """Fan out over threads, sharing the interpreter.
+
+    Right for IO-light sweeps and remote-worker shims where runs spend
+    their time waiting, and as the cheap-startup option when process
+    spawn cost would dominate a small fleet.  Safe because ``run_one``
+    shares no mutable state between runs.
+    """
+
+    name = "thread"
+
+    def _make_pool(self, width: int) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=width)
+
+
+#: Backend registry keyed by CLI name (``--backend serial|process|thread``).
+BACKENDS: dict[str, type] = {
+    SerialExecutor.name: SerialExecutor,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    ThreadedExecutor.name: ThreadedExecutor,
+}
+
+
+def make_executor(backend: str, *, jobs: int = 1) -> "Executor":
+    """Instantiate a registered backend by name."""
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    return factory(jobs=jobs)

@@ -35,8 +35,12 @@ def fleet_summary(result: FleetResult) -> str:
               f"({result.sweep.variant_count} variants x "
               f"{len(result.sweep.seeds)} seeds)")
     busy = sum(result.run_wall_s)
-    footer = (f"wall time {result.wall_s:.2f} s with jobs={result.jobs}"
+    footer = (f"wall time {result.wall_s:.2f} s with {result.backend} "
+              f"backend, jobs={result.jobs}"
               f" (cumulative run time {busy:.2f} s)")
+    if result.cached_count:
+        footer += (f"; {result.cached_count}/{len(result)} records "
+                   f"reused without recompute")
     return f"{table}\n{footer}"
 
 

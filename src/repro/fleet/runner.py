@@ -1,103 +1,182 @@
-"""Fleet execution: expand a sweep and run it, serially or in parallel.
+"""Fleet execution: expand a sweep and drive it through an executor.
 
-The unit of work is :func:`run_one` — a pure, top-level, picklable
-function from ``(spec JSON, seed, density)`` to a
-:class:`~repro.fleet.sweep.RunRecord`.  Nothing heavyweight crosses a
-process boundary: workers receive a plain ``RunSpec`` dict and return a
-plain ``RunRecord`` dict, so the ``ProcessPoolExecutor`` path ships
-only JSON-sized payloads while the compiled world and raw dataset die
-with the worker.
+:func:`run_sweep` is the orchestration loop: expand the
+:class:`~repro.fleet.sweep.SweepSpec`, resolve an
+:class:`~repro.fleet.executors.Executor` (by instance, by registered
+backend name, or from ``jobs`` alone), optionally wrap it in a
+:class:`~repro.fleet.cache.CachingExecutor`, then stream outcomes —
+in expansion order — into the result, the progress callback, and the
+on-disk store.  Records land on disk as they finish, so a sweep killed
+halfway leaves a directory :func:`resume_sweep` (or
+:meth:`~repro.fleet.store.FleetStore.resume`) completes by re-running
+only the missing runs.
 
 Determinism contract: a record is a function of ``(spec, seed,
-density)`` alone (the scenario compiler draws every stochastic value
-from per-seed named streams), so ``jobs=1`` and ``jobs=N`` executions
-of the same sweep are bit-identical; :mod:`tests.test_fleet` pins this.
+density)`` alone, so every backend — and any mix of cold runs, cache
+hits, and resumed records — produces bit-identical record lists;
+:mod:`tests.test_fleet` and :mod:`tests.test_fleet_cache` pin this.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Optional
+from pathlib import Path
+from typing import Callable, Optional, Union
 
-from ..core.evaluation import InfrastructureEvaluation
-from ..scenarios.spec import ScenarioSpec
+from .cache import CachingExecutor, ResultCache
+from .executors import (
+    Executor,
+    ProcessPoolBackend,
+    RunOutcome,
+    SerialExecutor,
+    make_executor,
+    run_one,
+)
 from .store import FleetResult, FleetStore
-from .sweep import RunRecord, RunSpec, SweepSpec
+from .sweep import RunRecord, SweepSpec
 
-__all__ = ["run_one", "run_sweep"]
+__all__ = ["ProgressFn", "resume_sweep", "run_one", "run_sweep"]
 
 #: Progress callback: ``(finished_count, total, record)``.
 ProgressFn = Callable[[int, int, RunRecord], None]
 
+#: What ``run_sweep`` accepts as an executor: a live instance, a
+#: registered backend name, or ``None`` to derive one from ``jobs``.
+ExecutorLike = Union[Executor, str, None]
 
-def run_one(spec_json: str, seed: int, density: float = 6.0, *,
-            run_id: str = "", variant: tuple = ()) -> RunRecord:
-    """Evaluate one scenario at one seed; return its summary record.
-
-    Top-level and argument-pure so it pickles into worker processes:
-    the spec travels as JSON, the result as plain values.
-    """
-    spec = ScenarioSpec.from_json(spec_json)
-    result = InfrastructureEvaluation(
-        seed=seed, mean_positions_per_cell=density, scenario=spec).run()
-    return RunRecord(
-        run_id=run_id or f"{spec.name}-s{seed}",
-        scenario=spec.name,
-        seed=seed,
-        density=density,
-        variant=tuple(variant),
-        summary=result.summary(),
-    )
+#: What ``run_sweep`` accepts as a cache: a live store, a directory
+#: path, or ``None`` for no caching.
+CacheLike = Union[ResultCache, str, Path, None]
 
 
-def _execute(run_dict: dict) -> dict:
-    """Worker entry point: RunSpec dict in, timed RunRecord dict out."""
-    run = RunSpec.from_dict(run_dict)
-    started = time.perf_counter()
-    record = run_one(run.scenario.to_json(indent=0), run.seed,
-                     run.density, run_id=run.run_id, variant=run.variant)
-    return {"record": record.to_dict(),
-            "wall_s": time.perf_counter() - started}
+def _resolve_executor(executor: ExecutorLike, jobs: int,
+                      cache: CacheLike) -> tuple[Executor, bool]:
+    """The concrete (possibly cache-wrapped) executor, plus whether the
+    caller owns it and must close it."""
+    if executor is None:
+        resolved: Executor = (SerialExecutor() if jobs <= 1
+                              else ProcessPoolBackend(jobs=jobs))
+        owned = True
+    elif isinstance(executor, str):
+        resolved = make_executor(executor, jobs=jobs)
+        owned = True
+    else:
+        resolved = executor
+        owned = False
+    if cache is not None:
+        resolved = CachingExecutor(resolved, cache)
+    return resolved, owned
 
 
 def run_sweep(sweep: SweepSpec, *, jobs: int = 1,
+              executor: ExecutorLike = None,
+              cache: CacheLike = None,
               out: Optional[str] = None,
               progress: Optional[ProgressFn] = None) -> FleetResult:
     """Execute every run of ``sweep``; optionally persist to ``out``.
 
-    ``jobs <= 1`` runs in-process; ``jobs > 1`` fans out over a
-    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results come
-    back in expansion order either way.
+    ``executor`` selects the backend: a registered name (``"serial"``,
+    ``"process"``, ``"thread"``), a live :class:`Executor` instance
+    (left open for reuse), or ``None`` to pick from ``jobs`` —
+    in-process when ``jobs <= 1``, a process pool otherwise.  ``cache``
+    (a directory or :class:`ResultCache`) wraps the backend in a
+    :class:`CachingExecutor` so already-computed runs return without
+    recompute.  Results come back in expansion order either way.
     """
     runs = sweep.expand()
-    payloads = [run.to_dict() for run in runs]
-    total = len(payloads)
+    total = len(runs)
+    resolved, owned = _resolve_executor(executor, jobs, cache)
+    store = FleetStore(out) if out else None
+    if store is not None:
+        store.begin(sweep, jobs=getattr(resolved, "jobs", jobs),
+                    backend=resolved.name)
+
     records: list[RunRecord] = []
     run_wall_s: list[float] = []
-
+    cached: list[bool] = []
     started = time.perf_counter()
-    if jobs <= 1:
-        outcomes = map(_execute, payloads)
-    else:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, total))
-        outcomes = pool.map(_execute, payloads)
     try:
-        for outcome in outcomes:
-            record = RunRecord.from_dict(outcome["record"])
-            records.append(record)
-            run_wall_s.append(outcome["wall_s"])
+        for outcome in resolved.map(runs):
+            records.append(outcome.record)
+            run_wall_s.append(outcome.wall_s)
+            cached.append(outcome.cached)
+            if store is not None:
+                store.write_record(outcome.record)
             if progress is not None:
-                progress(len(records), total, record)
+                progress(len(records), total, outcome.record)
     finally:
-        if jobs > 1:
+        if owned:
             # Don't let queued runs burn CPU after a failure surfaces.
-            pool.shutdown(cancel_futures=True)
+            resolved.close(cancel=True)
     wall_s = time.perf_counter() - started
 
     result = FleetResult(sweep=sweep, records=tuple(records),
                          run_wall_s=tuple(run_wall_s),
-                         wall_s=wall_s, jobs=jobs)
-    if out:
-        FleetStore(out).save(result)
+                         wall_s=wall_s,
+                         jobs=getattr(resolved, "jobs", jobs),
+                         backend=resolved.name,
+                         cached=tuple(cached))
+    if store is not None:
+        store.save(result, rewrite_records=False)
+    return result
+
+
+def resume_sweep(directory: Union[str, Path], *, jobs: int = 1,
+                 executor: ExecutorLike = None,
+                 cache: CacheLike = None,
+                 progress: Optional[ProgressFn] = None) -> FleetResult:
+    """Complete a partially-written fleet directory.
+
+    Re-expands the manifest's sweep, keeps every record already on
+    disk (flagged ``cached`` in the result, wall time carried over
+    from the prior manifest where known), executes only the missing
+    runs, and rewrites the directory as a finished fleet.  ``progress``
+    counts the re-run work: ``total`` is the number of missing runs.
+    """
+    store = FleetStore(directory)
+    manifest = store.read_manifest()
+    sweep = SweepSpec.from_dict(manifest["sweep"])
+    runs = sweep.expand()
+    existing = store.existing_records()
+    prior_wall = {entry["run_id"]: entry.get("wall_s", 0.0)
+                  for entry in manifest.get("runs", [])}
+    missing = [run for run in runs if run.run_id not in existing]
+
+    resolved, owned = _resolve_executor(executor, jobs, cache)
+    fresh: dict[str, RunOutcome] = {}
+    started = time.perf_counter()
+    try:
+        for outcome in resolved.map(missing):
+            fresh[outcome.record.run_id] = outcome
+            store.write_record(outcome.record)
+            if progress is not None:
+                progress(len(fresh), len(missing), outcome.record)
+    finally:
+        if owned:
+            resolved.close(cancel=True)
+    wall_s = time.perf_counter() - started
+
+    records: list[RunRecord] = []
+    run_wall_s: list[float] = []
+    cached: list[bool] = []
+    for run in runs:
+        if run.run_id in fresh:
+            outcome = fresh[run.run_id]
+            records.append(outcome.record)
+            run_wall_s.append(outcome.wall_s)
+            cached.append(outcome.cached)
+        else:
+            records.append(existing[run.run_id])
+            run_wall_s.append(prior_wall.get(run.run_id, 0.0))
+            cached.append(True)
+
+    result = FleetResult(sweep=sweep, records=tuple(records),
+                         run_wall_s=tuple(run_wall_s),
+                         wall_s=wall_s,
+                         jobs=getattr(resolved, "jobs", jobs),
+                         backend=resolved.name,
+                         cached=tuple(cached))
+    # Fresh records were streamed in via write_record and the reused
+    # ones never left disk, so only the manifest + CSV need writing.
+    store.save(result, rewrite_records=False)
     return result

@@ -3,15 +3,20 @@
 A fleet directory is self-describing::
 
     <out>/
-      manifest.json      # the sweep spec + per-run bookkeeping
+      manifest.json      # schema version + sweep spec + bookkeeping
       runs/
         <run_id>.json    # one RunRecord per run
 
 ``manifest.json`` carries everything needed to re-expand (or resume) a
 sweep — the :class:`~repro.fleet.sweep.SweepSpec` itself round-trips
 through it — while each run file is an independent, portable record.
-:class:`FleetResult` is the aggregation surface over a set of records:
-group by axis, per-variant summary rows across seeds, flat CSV export.
+The manifest is versioned (``schema``); the runner writes a skeleton
+manifest *before* the first run lands (:meth:`FleetStore.begin`) and
+streams records in as they finish, so an interrupted sweep leaves a
+directory :meth:`FleetStore.resume` can complete by re-running only
+the missing runs.  :class:`FleetResult` is the aggregation surface
+over a set of records: group by axis, per-variant summary rows across
+seeds, flat CSV export.
 """
 
 from __future__ import annotations
@@ -21,14 +26,22 @@ import json
 import statistics as pystats
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any, Optional
 
-from .sweep import RunRecord, SweepSpec
+from .sweep import RunRecord, RunSpec, SweepSpec
 
-__all__ = ["FleetResult", "FleetStore"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .runner import ProgressFn
+
+__all__ = ["FleetResult", "FleetStore", "SCHEMA_VERSION"]
 
 MANIFEST_NAME = "manifest.json"
 RUNS_DIR = "runs"
+
+#: Manifest format version.  v1 (implicit, no ``schema`` field) lacked
+#: the backend name, per-run cache flags, and the ``complete`` marker;
+#: v2 manifests load under v1 readers and vice versa.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -40,13 +53,24 @@ class FleetResult:
     run_wall_s: tuple[float, ...] = ()
     wall_s: float = 0.0
     jobs: int = 1
+    backend: str = "serial"
+    #: Per-record flag: ``True`` when the record was reused (cache hit
+    #: or resumed from disk) rather than computed by this execution.
+    cached: tuple[bool, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "records", tuple(self.records))
         object.__setattr__(self, "run_wall_s", tuple(self.run_wall_s))
+        object.__setattr__(self, "cached",
+                           tuple(bool(flag) for flag in self.cached))
 
     def __len__(self) -> int:
         return len(self.records)
+
+    @property
+    def cached_count(self) -> int:
+        """How many records were reused without recompute."""
+        return sum(self.cached)
 
     # -- aggregation ------------------------------------------------------
 
@@ -141,27 +165,94 @@ class FleetStore:
     def manifest_path(self) -> Path:
         return self.directory / MANIFEST_NAME
 
-    def save(self, result: FleetResult) -> dict[str, str]:
-        """Persist the manifest, every run record, and the flat CSV;
-        returns ``{name: path}`` for everything written."""
+    def read_manifest(self) -> dict:
+        """The raw manifest dict, schema-checked."""
+        if not self.manifest_path.exists():
+            raise FileNotFoundError(
+                f"no fleet manifest at {self.manifest_path}")
+        manifest = json.loads(self.manifest_path.read_text())
+        schema = manifest.get("schema", 1)
+        if schema > SCHEMA_VERSION:
+            raise ValueError(
+                f"fleet manifest schema {schema} is newer than the "
+                f"supported {SCHEMA_VERSION}")
+        return manifest
+
+    def begin(self, sweep: SweepSpec, *, jobs: int = 1,
+              backend: str = "serial") -> Path:
+        """Write the resumable skeleton manifest before any run lands.
+
+        An interrupted sweep then leaves the sweep spec plus whatever
+        run files made it to disk — exactly what :meth:`resume` needs.
+        """
+        (self.directory / RUNS_DIR).mkdir(parents=True, exist_ok=True)
+        manifest = {"schema": SCHEMA_VERSION,
+                    "sweep": sweep.to_dict(),
+                    "jobs": jobs,
+                    "backend": backend,
+                    "wall_s": 0.0,
+                    "complete": False,
+                    "runs": []}
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2) + "\n")
+        return self.manifest_path
+
+    def write_record(self, record: RunRecord) -> Path:
+        """Persist one run record; idempotent per ``run_id``."""
+        path = self.directory / RUNS_DIR / f"{record.run_id}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(record.to_json() + "\n")
+        return path
+
+    def existing_records(self) -> dict[str, RunRecord]:
+        """Parseable run records already on disk, keyed by run id.
+
+        Corrupt or half-written files are skipped — :meth:`resume`
+        recomputes and overwrites them.
+        """
         runs_dir = self.directory / RUNS_DIR
-        runs_dir.mkdir(parents=True, exist_ok=True)
+        records: dict[str, RunRecord] = {}
+        if not runs_dir.is_dir():
+            return records
+        for path in sorted(runs_dir.glob("*.json")):
+            try:
+                record = RunRecord.from_json(path.read_text())
+            except (KeyError, TypeError, ValueError):
+                continue
+            records[record.run_id] = record
+        return records
+
+    def save(self, result: FleetResult, *,
+             rewrite_records: bool = True) -> dict[str, str]:
+        """Persist the manifest, every run record, and the flat CSV;
+        returns ``{name: path}`` for everything written.
+
+        ``rewrite_records=False`` skips the per-run files — for the
+        runner, which already streamed each one via
+        :meth:`write_record` as it finished.
+        """
         paths: dict[str, str] = {}
         wall = list(result.run_wall_s) or [0.0] * len(result.records)
+        flags = list(result.cached) or [False] * len(result.records)
         entries = []
-        for record, wall_s in zip(result.records, wall):
+        for record, wall_s, cached in zip(result.records, wall, flags):
             relative = f"{RUNS_DIR}/{record.run_id}.json"
-            (self.directory / relative).write_text(record.to_json() + "\n")
+            if rewrite_records:
+                self.write_record(record)
             paths[record.run_id] = str(self.directory / relative)
             entries.append({"run_id": record.run_id,
                             "scenario": record.scenario,
                             "seed": record.seed,
                             "variant": [list(p) for p in record.variant],
                             "file": relative,
-                            "wall_s": wall_s})
-        manifest = {"sweep": result.sweep.to_dict(),
+                            "wall_s": wall_s,
+                            "cached": cached})
+        manifest = {"schema": SCHEMA_VERSION,
+                    "sweep": result.sweep.to_dict(),
                     "jobs": result.jobs,
+                    "backend": result.backend,
                     "wall_s": result.wall_s,
+                    "complete": True,
                     "runs": entries}
         self.manifest_path.write_text(
             json.dumps(manifest, indent=2) + "\n")
@@ -171,18 +262,47 @@ class FleetStore:
         return paths
 
     def load(self) -> FleetResult:
-        """Reconstruct a :class:`FleetResult` from the directory."""
-        manifest = json.loads(self.manifest_path.read_text())
+        """Reconstruct a :class:`FleetResult` from the directory.
+
+        Reads both manifest schemas: v1 entries simply lack the
+        backend name and cache flags.
+        """
+        manifest = self.read_manifest()
         records = []
         run_wall_s = []
+        cached = []
         for entry in manifest["runs"]:
             text = (self.directory / entry["file"]).read_text()
             records.append(RunRecord.from_json(text))
             run_wall_s.append(entry.get("wall_s", 0.0))
+            cached.append(entry.get("cached", False))
         return FleetResult(
             sweep=SweepSpec.from_dict(manifest["sweep"]),
             records=tuple(records),
             run_wall_s=tuple(run_wall_s),
             wall_s=manifest.get("wall_s", 0.0),
             jobs=manifest.get("jobs", 1),
+            backend=manifest.get("backend", "serial"),
+            cached=tuple(cached),
         )
+
+    def missing_runs(self) -> tuple[RunSpec, ...]:
+        """The expansion's runs that have no readable record on disk."""
+        manifest = self.read_manifest()
+        sweep = SweepSpec.from_dict(manifest["sweep"])
+        existing = self.existing_records()
+        return tuple(run for run in sweep.expand()
+                     if run.run_id not in existing)
+
+    def resume(self, *, jobs: int = 1, executor=None, cache=None,
+               progress: "Optional[ProgressFn]" = None) -> FleetResult:
+        """Complete a partially-written fleet directory.
+
+        Re-expands the manifest's sweep, keeps every record already on
+        disk (flagged ``cached`` in the result), executes only the
+        missing :class:`RunSpec`\\ s, and rewrites the directory as a
+        finished fleet.
+        """
+        from .runner import resume_sweep  # deferred: runner imports us
+        return resume_sweep(self.directory, jobs=jobs, executor=executor,
+                            cache=cache, progress=progress)

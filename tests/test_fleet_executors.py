@@ -1,0 +1,168 @@
+"""Tests for the pluggable executor API: the backend registry, the
+three shipped backends, submit/map semantics, and ownership rules."""
+
+import pytest
+
+from repro.fleet import (
+    BACKENDS,
+    ProcessPoolBackend,
+    RunOutcome,
+    SerialExecutor,
+    SweepAxis,
+    SweepSpec,
+    ThreadedExecutor,
+    make_executor,
+    run_one,
+    run_sweep,
+)
+from repro.scenarios import klagenfurt
+
+AXIS = "campaign.handover_interruption_s"
+DENSITY = 2.0
+
+
+def small_sweep(**kwargs) -> SweepSpec:
+    defaults = dict(
+        bases=(klagenfurt(),),
+        axes=(SweepAxis(AXIS, (30e-3, 60e-3)),),
+        seeds=(42,),
+        density=DENSITY,
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_names_the_three_backends():
+    assert set(BACKENDS) == {"serial", "process", "thread"}
+    assert isinstance(make_executor("serial"), SerialExecutor)
+    assert isinstance(make_executor("process", jobs=2), ProcessPoolBackend)
+    assert isinstance(make_executor("thread", jobs=2), ThreadedExecutor)
+
+
+def test_unknown_backend_is_clean_error():
+    with pytest.raises(ValueError, match="unknown backend 'dask'"):
+        make_executor("dask")
+
+
+def test_backend_validates_jobs():
+    with pytest.raises(ValueError, match="jobs must be"):
+        ThreadedExecutor(jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# The protocol surface
+# ---------------------------------------------------------------------------
+
+def test_serial_submit_returns_resolved_outcome_future():
+    run = small_sweep().expand()[0]
+    with SerialExecutor() as executor:
+        outcome = executor.submit(run).result()
+    assert isinstance(outcome, RunOutcome)
+    assert outcome.record.run_id == run.run_id
+    assert outcome.wall_s > 0.0
+    assert not outcome.cached
+
+
+def test_thread_submit_and_map_agree():
+    runs = small_sweep().expand()
+    with ThreadedExecutor(jobs=2) as executor:
+        submitted = [executor.submit(run) for run in runs]
+        via_submit = [future.result().record.to_dict()
+                      for future in submitted]
+    with ThreadedExecutor(jobs=2) as executor:
+        via_map = [outcome.record.to_dict()
+                   for outcome in executor.map(runs)]
+    assert via_submit == via_map
+
+
+def test_map_on_empty_run_list_yields_nothing():
+    with ThreadedExecutor(jobs=2) as executor:
+        assert list(executor.map([])) == []
+
+
+# ---------------------------------------------------------------------------
+# Backend equivalence (the determinism contract across the seam)
+# ---------------------------------------------------------------------------
+
+def test_all_backends_produce_bit_identical_records():
+    sweep = small_sweep(seeds=(42, 43))
+    serial = run_sweep(sweep, executor="serial")
+    threaded = run_sweep(sweep, executor="thread", jobs=2)
+    pooled = run_sweep(sweep, executor="process", jobs=2)
+    assert [r.to_dict() for r in serial.records] == \
+        [r.to_dict() for r in threaded.records] == \
+        [r.to_dict() for r in pooled.records]
+    assert serial.backend == "serial"
+    assert threaded.backend == "thread"
+    assert pooled.backend == "process"
+
+
+def test_jobs_alone_still_selects_the_backend():
+    # The pre-executor API: jobs<=1 serial, jobs>1 process pool.
+    assert run_sweep(small_sweep()).backend == "serial"
+    assert run_sweep(small_sweep(), jobs=2).backend == "process"
+
+
+def test_caller_supplied_executor_is_left_open():
+    executor = ThreadedExecutor(jobs=2)
+    first = run_sweep(small_sweep(), executor=executor)
+    second = run_sweep(small_sweep(), executor=executor)  # still usable
+    executor.close()
+    assert [r.to_dict() for r in first.records] == \
+        [r.to_dict() for r in second.records]
+
+
+# ---------------------------------------------------------------------------
+# run_one fallback id (collision fix)
+# ---------------------------------------------------------------------------
+
+def test_default_run_id_distinguishes_variants():
+    base = klagenfurt()
+    variant = base.with_overrides({AXIS: 31e-3})
+    record_a = run_one(base.to_json(), 42, DENSITY)
+    record_b = run_one(variant.to_json(), 42, DENSITY)
+    # same scenario name and seed, different overrides: ids must differ
+    assert record_a.scenario == record_b.scenario == "klagenfurt"
+    assert record_a.run_id != record_b.run_id
+    assert record_a.run_id.startswith("klagenfurt-s42-")
+
+
+def test_default_run_id_is_stable_across_calls():
+    spec_json = klagenfurt().to_json()
+    assert run_one(spec_json, 42, DENSITY).run_id == \
+        run_one(spec_json, 42, DENSITY).run_id
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+def test_cli_sweep_thread_backend(capsys):
+    from repro.__main__ import main
+
+    assert main(["sweep", "--scenario", "klagenfurt",
+                 "--set", f"{AXIS}=0.03,0.06",
+                 "--seeds", "42", "--backend", "thread", "--jobs", "2",
+                 "--density", "2"]) == 0
+    stdout = capsys.readouterr().out
+    assert "backend=thread" in stdout
+    assert "thread backend, jobs=2" in stdout
+
+
+def test_cli_progress_flag_gates_per_run_lines(capsys):
+    from repro.__main__ import main
+
+    args = ["sweep", "--scenario", "klagenfurt",
+            "--set", f"{AXIS}=0.03,0.06", "--seeds", "42",
+            "--density", "2"]
+    assert main(args) == 0
+    quiet = capsys.readouterr().out
+    assert "[1/2]" not in quiet
+    assert main(args + ["--progress"]) == 0
+    chatty = capsys.readouterr().out
+    assert "[1/2]" in chatty and "[2/2]" in chatty
+    assert "ms mobile mean" in chatty
