@@ -1,0 +1,97 @@
+"""Cross-fleet comparison — alignment cost at fleet scale.
+
+Two questions: what does ``repro compare`` add on top of loading the
+fleets (timed over a real pair of small on-disk fleets), and how does
+content-identity alignment scale when the record sets grow to
+campaign size (timed over synthetic thousand-run sets that reuse one
+evaluated record, so the benchmark measures alignment, not
+evaluation)?  The printed rates are the headline numbers for "compare
+reports are free relative to the sweeps they compare".
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_compare.py -s
+"""
+
+import time
+
+from repro.fleet import (
+    RecordSet,
+    RunRecord,
+    SweepAxis,
+    SweepSpec,
+    compare_paths,
+    compare_record_sets,
+    run_sweep,
+)
+from repro.scenarios import klagenfurt
+
+AXIS = "campaign.handover_interruption_s"
+
+#: Synthetic set size: seeds per variant x variants.
+SEEDS = 250
+VARIANTS = 8
+
+
+def make_sweep(values) -> SweepSpec:
+    return SweepSpec(bases=(klagenfurt(),),
+                     axes=(SweepAxis(AXIS, tuple(values)),),
+                     seeds=(42,), density=2.0)
+
+
+def synthetic_set(label: str, template: RunRecord, *,
+                  scale: float = 1.0) -> RecordSet:
+    """``SEEDS x VARIANTS`` records cloned from one real evaluation:
+    distinct content identities, optionally drifted metrics."""
+    records = []
+    for variant_index in range(VARIANTS):
+        for seed in range(SEEDS):
+            data = template.to_dict()
+            data["run_id"] = f"syn-v{variant_index:03d}-s{seed}"
+            data["seed"] = seed
+            data["variant"] = [[AXIS, 0.01 * (variant_index + 1)]]
+            data["spec_key"] = f"{variant_index:032x}{seed:032x}"
+            data["summary"]["gap"]["mobile_mean_s"] *= scale
+            records.append(RunRecord.from_dict(data))
+    return RecordSet(label, tuple(records))
+
+
+def test_compare_two_real_fleets(tmp_path):
+    out_a, out_b = tmp_path / "a", tmp_path / "b"
+    cache = tmp_path / "cache"
+
+    started = time.perf_counter()
+    run_sweep(make_sweep((30e-3, 60e-3)), cache=cache, out=out_a)
+    run_sweep(make_sweep((30e-3, 90e-3)), cache=cache, out=out_b)
+    sweeps_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    comparison = compare_paths([out_a, out_b])
+    compare_s = time.perf_counter() - started
+
+    assert len(comparison.deltas) == 1
+    assert len(comparison.added) == len(comparison.removed) == 1
+    print(f"\n2x2-run fleets: sweeps {sweeps_s:.2f} s, compare "
+          f"(load + align + delta) {compare_s * 1e3:.1f} ms "
+          f"({sweeps_s / compare_s:.0f}x cheaper than the sweeps)")
+
+
+def test_alignment_throughput_at_campaign_scale(tmp_path):
+    template = run_sweep(make_sweep((30e-3,)), out=None).records[0]
+    baseline = synthetic_set("before", template)
+    candidate = synthetic_set("after", template, scale=1.02)
+    total = len(baseline.records) + len(candidate.records)
+
+    started = time.perf_counter()
+    comparison = compare_record_sets(baseline, [candidate])
+    align_s = time.perf_counter() - started
+
+    assert len(comparison.deltas) == VARIANTS
+    assert comparison.added == () and comparison.removed == ()
+    assert comparison.paired_runs == SEEDS * VARIANTS
+    for delta in comparison.deltas:
+        by_name = {m.metric: m for m in delta.metrics}
+        assert abs(by_name["mobile_mean_ms"].pct - 2.0) < 1e-6
+    print(f"{total} records ({VARIANTS} variants x {SEEDS} seeds x 2 "
+          f"fleets) aligned in {align_s * 1e3:.1f} ms -> "
+          f"{total / align_s:,.0f} records/s")

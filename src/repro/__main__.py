@@ -10,6 +10,10 @@ sweep         run a parameter sweep / multi-seed fleet over scenario
               specs (``--set path=v1,v2,...`` per axis, ``--seeds``,
               ``--backend``, ``--jobs``, ``--cache``, ``--out``;
               ``--resume`` finishes an interrupted fleet directory)
+compare       align two or more fleet directories (or result caches)
+              by run content identity and print per-variant metric
+              deltas (``--baseline``, ``--csv``, ``--json``;
+              ``--fail-on METRIC:PCT`` gates CI with a nonzero exit)
 peering       run the Section V-A local-peering what-if
 upf           run the Section V-B UPF placement comparison
 cpf           run the Section V-C control-plane comparison
@@ -172,6 +176,43 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .fleet import compare_paths, comparison_summary, parse_fail_on
+
+    if len(args.paths) < 2:
+        print("error: compare needs at least two fleet or cache "
+              "directories", file=sys.stderr)
+        return 2
+    try:
+        gates = [parse_fail_on(gate) for gate in args.fail_on or []]
+        comparison = compare_paths(args.paths,
+                                   baseline=args.baseline or None)
+    except (FileNotFoundError, KeyError, OSError, TypeError,
+            ValueError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(comparison.to_json())
+    else:
+        print(comparison_summary(comparison))
+    # Status lines go to stderr so --json/--csv consumers get a clean
+    # machine-readable stdout.
+    if args.csv:
+        print(f"delta rows written to {comparison.to_csv(args.csv)}",
+              file=sys.stderr)
+    if gates:
+        failures = comparison.failures(gates)
+        if failures:
+            print(f"FAIL: {len(failures)} gate violation(s)",
+                  file=sys.stderr)
+            for message in failures:
+                print(f"  {message}", file=sys.stderr)
+            return 1
+        print("all gates passed", file=sys.stderr)
+    return 0
+
+
 def cmd_peering(args: argparse.Namespace) -> int:
     outcome = LocalPeeringExperiment(
         KlagenfurtScenario(seed=args.seed)).run()
@@ -240,6 +281,7 @@ COMMANDS = {
     "evaluate": cmd_evaluate,
     "scenarios": cmd_scenarios,
     "sweep": cmd_sweep,
+    "compare": cmd_compare,
     "peering": cmd_peering,
     "upf": cmd_upf,
     "cpf": cmd_cpf,
@@ -254,6 +296,10 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduction of '6G Infrastructures for Edge AI'")
     parser.add_argument("command", choices=sorted(COMMANDS),
                         help="which experiment to run")
+    parser.add_argument("paths", nargs="*", metavar="DIR",
+                        help="with compare: two or more fleet "
+                             "directories or result caches (first is "
+                             "the baseline unless --baseline is given)")
     parser.add_argument("--seed", type=int, default=42,
                         help="scenario seed (default 42)")
     parser.add_argument("--scenario", default="klagenfurt",
@@ -264,7 +310,8 @@ def main(argv: list[str] | None = None) -> int:
                              "(overrides --scenario)")
     parser.add_argument("--json", action="store_true",
                         help="with scenarios: dump the selected spec "
-                             "as JSON")
+                             "as JSON; with compare: print the full "
+                             "comparison as JSON instead of the table")
     parser.add_argument("--set", action="append", metavar="PATH=V1,V2",
                         help="with sweep: one axis of dotted-path "
                              "override values (repeatable)")
@@ -296,7 +343,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--zip", action="store_true",
                         help="with sweep: walk axes in lockstep "
                              "instead of the cartesian product")
+    parser.add_argument("--baseline", default="", metavar="DIR",
+                        help="with compare: which of the given paths "
+                             "is the reference (default: the first)")
+    parser.add_argument("--fail-on", action="append", dest="fail_on",
+                        metavar="METRIC:PCT",
+                        help="with compare: exit 1 if METRIC moves "
+                             "more than PCT%% on any common variant, "
+                             "or if the variant grids drifted "
+                             "(repeatable; metrics: mobile_mean_ms, "
+                             "mobile_wired_factor, exceedance_percent, "
+                             "detour_km)")
+    parser.add_argument("--csv", default="", metavar="FILE",
+                        help="with compare: also write the delta rows "
+                             "as CSV")
     args = parser.parse_args(argv)
+    if args.paths and args.command != "compare":
+        # The DIR positionals exist for compare alone; swallowing them
+        # elsewhere would turn a typo into a silently-defaulted run.
+        parser.error(f"unrecognized arguments for {args.command}: "
+                     f"{' '.join(args.paths)}")
     return COMMANDS[args.command](args)
 
 

@@ -10,7 +10,12 @@ content-addressed :class:`ResultCache` (keys are SHA-256 digests of
 ``(spec, seed, density)``) wraps any backend via
 :class:`CachingExecutor` so recomputation is never paid twice, and an
 interrupted sweep's directory resumes with
-:meth:`FleetStore.resume` / :func:`resume_sweep`.
+:meth:`FleetStore.resume` / :func:`resume_sweep`.  Every record is
+stamped with its ``run_key`` digest (``spec_key``), giving runs a
+content identity that resume verifies (a record computed under an
+edited spec is recomputed, never silently reused) and that
+:func:`compare_record_sets` / ``python -m repro compare A B`` align
+cross-fleet delta reports on.
 
 Quickstart::
 
@@ -34,9 +39,20 @@ Or from the shell::
         --seeds 42:46 --backend process --jobs 4 \\
         --cache result-cache --out fleet-out
     python -m repro sweep --resume --out fleet-out   # finish a kill -9'd run
+    python -m repro compare fleet-out fleet-prev --fail-on mobile_mean_ms:2
 """
 
 from .cache import CacheStats, CachingExecutor, ResultCache, run_key
+from .compare import (
+    COMPARE_METRICS,
+    FleetComparison,
+    MetricDelta,
+    RecordSet,
+    VariantDelta,
+    compare_paths,
+    compare_record_sets,
+    parse_fail_on,
+)
 from .executors import (
     BACKENDS,
     Executor,
@@ -46,17 +62,25 @@ from .executors import (
     ThreadedExecutor,
     make_executor,
 )
-from .report import fleet_summary, write_csv
+from .report import comparison_summary, fleet_summary, write_csv
 from .runner import resume_sweep, run_one, run_sweep
 from .store import FleetResult, FleetStore, SCHEMA_VERSION
-from .sweep import RunRecord, RunSpec, SweepAxis, SweepSpec
+from .sweep import (
+    RunRecord,
+    RunSpec,
+    SweepAxis,
+    SweepSpec,
+    record_matches_spec,
+)
 
 __all__ = [
-    "BACKENDS", "CacheStats", "CachingExecutor", "Executor",
-    "FleetResult", "FleetStore",
-    "ProcessPoolBackend", "ResultCache",
+    "BACKENDS", "CacheStats", "CachingExecutor", "COMPARE_METRICS",
+    "Executor", "FleetComparison", "FleetResult", "FleetStore",
+    "MetricDelta", "ProcessPoolBackend", "RecordSet", "ResultCache",
     "RunOutcome", "RunRecord", "RunSpec", "SCHEMA_VERSION",
     "SerialExecutor", "SweepAxis", "SweepSpec", "ThreadedExecutor",
-    "fleet_summary", "make_executor", "resume_sweep", "run_key",
+    "VariantDelta", "compare_paths", "compare_record_sets",
+    "comparison_summary", "fleet_summary", "make_executor",
+    "parse_fail_on", "record_matches_spec", "resume_sweep", "run_key",
     "run_one", "run_sweep", "write_csv",
 ]

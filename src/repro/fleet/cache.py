@@ -26,14 +26,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
+import uuid
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Iterator, Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
-from ..scenarios.spec import ScenarioSpec
 from .executors import Executor, RunOutcome
-from .sweep import RunRecord, RunSpec
+# canonical_dumps/run_key moved to .sweep (they define run identity,
+# not just cache addressing); re-exported here for compatibility.
+from .sweep import RunRecord, RunSpec, canonical_dumps, run_key
 
 __all__ = [
     "CacheStats",
@@ -45,21 +49,9 @@ __all__ = [
 
 OBJECTS_DIR = "objects"
 
-
-def canonical_dumps(value: Any) -> str:
-    """Digest-stable JSON: sorted keys, compact separators.
-
-    Two structurally equal values always serialize to the same bytes,
-    so hashing this text gives a stable content address.
-    """
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
-
-
-def run_key(spec: ScenarioSpec, seed: int, density: float) -> str:
-    """SHA-256 content address of one run's complete inputs."""
-    payload = {"spec": spec.to_dict(), "seed": int(seed),
-               "density": float(density)}
-    return hashlib.sha256(canonical_dumps(payload).encode()).hexdigest()
+#: Staging files older than this are considered abandoned by a crashed
+#: writer and swept opportunistically on the next ``put`` nearby.
+ORPHAN_TMP_TTL_S = 3600.0
 
 
 def _payload_sha256(record_dict: dict) -> str:
@@ -84,7 +76,7 @@ class ResultCache:
         self.stats = CacheStats()
 
     def key_for(self, run: RunSpec) -> str:
-        return run_key(run.scenario, run.seed, run.density)
+        return run.spec_key()
 
     def path_for(self, key: str) -> Path:
         return self.directory / OBJECTS_DIR / key[:2] / f"{key}.json"
@@ -114,18 +106,72 @@ class ResultCache:
         return record
 
     def put(self, key: str, record: RunRecord) -> Path:
-        """Store one record under its key; atomic against readers."""
+        """Store one record under its key; atomic against readers.
+
+        The staging name is unique per writer (pid + random suffix),
+        so concurrent processes sharing one cache never interleave
+        writes into the same temp file — last rename wins with a whole
+        entry either way.  Staging files abandoned by a crashed writer
+        are swept from the shard opportunistically once they age past
+        :data:`ORPHAN_TMP_TTL_S`.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         record_dict = record.to_dict()
         entry = {"key": key,
                  "payload_sha256": _payload_sha256(record_dict),
                  "record": record_dict}
-        staging = path.with_suffix(".json.tmp")
+        staging = path.parent / (
+            f".{path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
         staging.write_text(json.dumps(entry, indent=2) + "\n")
         staging.replace(path)
         self.stats.stores += 1
+        self.sweep_orphans(directory=path.parent)
         return path
+
+    def sweep_orphans(self, *, max_age_s: float = ORPHAN_TMP_TTL_S,
+                      directory: Optional[Path] = None) -> int:
+        """Delete staging files older than ``max_age_s``; returns the
+        count removed.
+
+        ``directory`` limits the sweep to one shard (the cheap,
+        opportunistic form ``put`` uses); by default the whole object
+        tree is walked.  Races with live writers are harmless: a
+        missing file is simply skipped.
+        """
+        root = (directory if directory is not None
+                else self.directory / OBJECTS_DIR)
+        if not root.is_dir():
+            return 0
+        now = time.time()
+        removed = 0
+        for staging in root.rglob("*.tmp"):
+            try:
+                if now - staging.stat().st_mtime >= max_age_s:
+                    staging.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        """Every intact record in the store, in digest order.
+
+        Corrupt entries are skipped (not deleted — unlike :meth:`get`,
+        iteration has no recompute to hand them to).
+        """
+        objects = self.directory / OBJECTS_DIR
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.json")):
+            try:
+                entry = json.loads(path.read_text())
+                if _payload_sha256(entry["record"]) != \
+                        entry["payload_sha256"]:
+                    continue
+                yield RunRecord.from_dict(entry["record"])
+            except (KeyError, OSError, TypeError, ValueError):
+                continue
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
@@ -155,24 +201,29 @@ class CachingExecutor:
         return getattr(self.inner, "jobs", 1)
 
     @staticmethod
-    def _rebind(record: RunRecord, run: RunSpec) -> RunRecord:
+    def _rebind(record: RunRecord, run: RunSpec, key: str) -> RunRecord:
         """A cached record re-labelled for this sweep's bookkeeping.
 
         The summary is content-addressed; ``run_id`` and variant labels
         are sweep-local metadata, so a record cached by one sweep slots
-        into any other that reaches the same key.
+        into any other that reaches the same key.  Entries written by
+        pre-``spec_key`` caches get the digest stamped on the way out —
+        it *is* the key they were stored under.
         """
-        if record.run_id == run.run_id and record.variant == run.variant:
+        if (record.run_id == run.run_id and record.variant == run.variant
+                and record.spec_key == key):
             return record
-        return replace(record, run_id=run.run_id, variant=run.variant)
+        return replace(record, run_id=run.run_id, variant=run.variant,
+                       spec_key=key)
 
     def submit(self, run: RunSpec) -> "Future[RunOutcome]":
         key = self.cache.key_for(run)
         record = self.cache.get(key)
         if record is not None:
             future: "Future[RunOutcome]" = Future()
-            future.set_result(RunOutcome(record=self._rebind(record, run),
-                                         wall_s=0.0, cached=True))
+            future.set_result(
+                RunOutcome(record=self._rebind(record, run, key),
+                           wall_s=0.0, cached=True))
             return future
         inner_future = self.inner.submit(run)
         outer: "Future[RunOutcome]" = Future()
@@ -209,8 +260,9 @@ class CachingExecutor:
         # back into expansion order.
         for index, run in enumerate(runs):
             if index in hits:
-                yield RunOutcome(record=self._rebind(hits[index], run),
-                                 wall_s=0.0, cached=True)
+                yield RunOutcome(
+                    record=self._rebind(hits[index], run, keys[index]),
+                    wall_s=0.0, cached=True)
             else:
                 outcome = next(fresh)
                 self.cache.put(keys[index], outcome.record)

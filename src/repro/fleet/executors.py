@@ -33,7 +33,7 @@ from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 from ..core.evaluation import InfrastructureEvaluation
 from ..scenarios.spec import ScenarioSpec
-from .sweep import RunRecord, RunSpec
+from .sweep import RunRecord, RunSpec, run_key
 
 __all__ = [
     "BACKENDS",
@@ -53,14 +53,17 @@ def run_one(spec_json: str, seed: int, density: float = 6.0, *,
     """Evaluate one scenario at one seed; return its summary record.
 
     Top-level and argument-pure so it pickles into worker processes:
-    the spec travels as JSON, the result as plain values.  The fallback
-    ``run_id`` embeds a content digest so two variants that share a
-    scenario name and seed (differing only in overrides) never collide.
+    the spec travels as JSON, the result as plain values.  The record
+    is stamped with the :func:`~repro.fleet.sweep.run_key` digest of
+    its inputs (``spec_key``) — the content identity that resume and
+    cross-fleet comparison verify against; the fallback ``run_id``
+    embeds its prefix so two variants that share a scenario name and
+    seed (differing only in overrides) never collide.
     """
     spec = ScenarioSpec.from_json(spec_json)
+    spec_key = run_key(spec, seed, density)
     if not run_id:
-        from .cache import run_key  # deferred: cache builds on this module
-        run_id = f"{spec.name}-s{seed}-{run_key(spec, seed, density)[:8]}"
+        run_id = f"{spec.name}-s{seed}-{spec_key[:8]}"
     result = InfrastructureEvaluation(
         seed=seed, mean_positions_per_cell=density, scenario=spec).run()
     return RunRecord(
@@ -70,6 +73,7 @@ def run_one(spec_json: str, seed: int, density: float = 6.0, *,
         density=density,
         variant=tuple(variant),
         summary=result.summary(),
+        spec_key=spec_key,
     )
 
 

@@ -1,8 +1,9 @@
-"""Human-readable digests of a fleet result.
+"""Human-readable digests of fleet results and fleet comparisons.
 
-Consumes the aggregation surface of
-:class:`~repro.fleet.store.FleetResult` and renders it with the same
-table renderer every other study in the repo uses.
+Consumes the aggregation surfaces of
+:class:`~repro.fleet.store.FleetResult` and
+:class:`~repro.fleet.compare.FleetComparison` and renders them with
+the same table renderer every other study in the repo uses.
 """
 
 from __future__ import annotations
@@ -10,9 +11,10 @@ from __future__ import annotations
 from pathlib import Path
 
 from ..core.report import render_comparison_table
+from .compare import FleetComparison, variant_label
 from .store import FleetResult
 
-__all__ = ["fleet_summary", "write_csv"]
+__all__ = ["comparison_summary", "fleet_summary", "write_csv"]
 
 
 def _cell(value, *, identity: bool) -> object:
@@ -47,3 +49,35 @@ def fleet_summary(result: FleetResult) -> str:
 def write_csv(result: FleetResult, path: str | Path) -> str:
     """Export the flat per-run table; returns the written path."""
     return result.to_csv(path)
+
+
+def comparison_summary(comparison: FleetComparison) -> str:
+    """The per-variant delta table plus the grid-drift footer."""
+    header = ["fleet", "variant", "metric", "baseline", "candidate",
+              "delta", "delta %"]
+    rows = []
+    for delta in comparison.deltas:
+        label = delta.label
+        if delta.renamed:
+            label += f" [= {variant_label(delta.baseline_variant)}]"
+        for m in delta.metrics:
+            rows.append([
+                delta.fleet, label, m.metric,
+                f"{m.baseline:.4f}", f"{m.candidate:.4f}",
+                f"{m.delta:+.4f}",
+                "n/a" if m.pct is None else f"{m.pct:+.3f}",
+            ])
+    lines = [render_comparison_table(
+        header, rows,
+        title=f"Fleet comparison — baseline {comparison.baseline}, "
+              f"{len(comparison.deltas)} common variants")]
+    for fleet, key in comparison.removed:
+        lines.append(f"- {fleet}: baseline variant "
+                     f"[{variant_label(key)}] has no counterpart")
+    for fleet, key in comparison.added:
+        lines.append(f"+ {fleet}: variant [{variant_label(key)}] "
+                     f"not in baseline")
+    lines.append(
+        f"{comparison.paired_runs} run pairs aligned by seed, "
+        f"{comparison.identical_runs} content-identical (same spec_key)")
+    return "\n".join(lines)

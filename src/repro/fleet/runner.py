@@ -33,7 +33,7 @@ from .executors import (
     run_one,
 )
 from .store import FleetResult, FleetStore
-from .sweep import RunRecord, SweepSpec
+from .sweep import RunRecord, SweepSpec, record_matches_spec
 
 __all__ = ["ProgressFn", "resume_sweep", "run_one", "run_sweep"]
 
@@ -127,11 +127,16 @@ def resume_sweep(directory: Union[str, Path], *, jobs: int = 1,
                  progress: Optional[ProgressFn] = None) -> FleetResult:
     """Complete a partially-written fleet directory.
 
-    Re-expands the manifest's sweep, keeps every record already on
-    disk (flagged ``cached`` in the result, wall time carried over
-    from the prior manifest where known), executes only the missing
-    runs, and rewrites the directory as a finished fleet.  ``progress``
-    counts the re-run work: ``total`` is the number of missing runs.
+    Re-expands the manifest's sweep, keeps every on-disk record whose
+    content identity verifies against its expanded run (flagged
+    ``cached`` in the result, wall time carried over from the prior
+    manifest where known), executes the rest, and rewrites the
+    directory as a finished fleet.  A record whose ``spec_key`` (or
+    legacy metadata, for digest-less v2 records) disagrees with the
+    manifest's current spec — say, an axis value edited since the
+    original sweep — is stale and recomputed, never silently reused.
+    ``progress`` counts the re-run work: ``total`` is the number of
+    missing runs.
     """
     store = FleetStore(directory)
     manifest = store.read_manifest()
@@ -140,7 +145,14 @@ def resume_sweep(directory: Union[str, Path], *, jobs: int = 1,
     existing = store.existing_records()
     prior_wall = {entry["run_id"]: entry.get("wall_s", 0.0)
                   for entry in manifest.get("runs", [])}
-    missing = [run for run in runs if run.run_id not in existing]
+    reusable: dict[str, RunRecord] = {}
+    missing = []
+    for run in runs:
+        record = existing.get(run.run_id)
+        if record is not None and record_matches_spec(record, run):
+            reusable[run.run_id] = record
+        else:
+            missing.append(run)
 
     resolved, owned = _resolve_executor(executor, jobs, cache)
     fresh: dict[str, RunOutcome] = {}
@@ -166,7 +178,7 @@ def resume_sweep(directory: Union[str, Path], *, jobs: int = 1,
             run_wall_s.append(outcome.wall_s)
             cached.append(outcome.cached)
         else:
-            records.append(existing[run.run_id])
+            records.append(reusable[run.run_id])
             run_wall_s.append(prior_wall.get(run.run_id, 0.0))
             cached.append(True)
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Optional
 
-from .sweep import RunRecord, RunSpec, SweepSpec
+from .sweep import RunRecord, RunSpec, SweepSpec, record_matches_spec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .runner import ProgressFn
@@ -40,8 +40,12 @@ RUNS_DIR = "runs"
 
 #: Manifest format version.  v1 (implicit, no ``schema`` field) lacked
 #: the backend name, per-run cache flags, and the ``complete`` marker;
-#: v2 manifests load under v1 readers and vice versa.
-SCHEMA_VERSION = 2
+#: v3 adds the per-run ``spec_key`` content digest (mirrored from the
+#: record) so run identity is verifiable without re-hashing specs.
+#: Older manifests — and their digest-less records — still load;
+#: identity checks then fall back to ``(scenario, seed, density,
+#: variant)``.
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,15 @@ class FleetResult:
         object.__setattr__(self, "run_wall_s", tuple(self.run_wall_s))
         object.__setattr__(self, "cached",
                            tuple(bool(flag) for flag in self.cached))
+        # Empty metadata tuples mean "unknown" and are padded downstream;
+        # a non-empty but wrong-length one would silently zip-truncate
+        # the manifest, so it is an error here.
+        for name in ("run_wall_s", "cached"):
+            values = getattr(self, name)
+            if values and len(values) != len(self.records):
+                raise ValueError(
+                    f"{name} has {len(values)} entries for "
+                    f"{len(self.records)} records")
 
     def __len__(self) -> int:
         return len(self.records)
@@ -86,13 +99,10 @@ class FleetResult:
     def variants(self) -> dict[tuple[tuple[str, Any], ...],
                                tuple[RunRecord, ...]]:
         """Records grouped per variant (all seeds together), keyed by
-        the variant's ``(axis, value)`` pairs plus the scenario."""
+        :meth:`~repro.fleet.sweep.RunRecord.variant_key`."""
         groups: dict[tuple, list[RunRecord]] = {}
         for record in self.records:
-            key = record.variant
-            if not any(name == "scenario" for name, _ in key):
-                key = (("scenario", record.scenario),) + key
-            groups.setdefault(key, []).append(record)
+            groups.setdefault(record.variant_key(), []).append(record)
         return {key: tuple(records) for key, records in groups.items()}
 
     def summary_rows(self) -> tuple[list[str], list[list]]:
@@ -243,6 +253,7 @@ class FleetStore:
             entries.append({"run_id": record.run_id,
                             "scenario": record.scenario,
                             "seed": record.seed,
+                            "spec_key": record.spec_key,
                             "variant": [list(p) for p in record.variant],
                             "file": relative,
                             "wall_s": wall_s,
@@ -287,12 +298,20 @@ class FleetStore:
         )
 
     def missing_runs(self) -> tuple[RunSpec, ...]:
-        """The expansion's runs that have no readable record on disk."""
+        """The expansion's runs with no *matching* record on disk.
+
+        A record counts only if its content identity verifies against
+        the expanded run (``spec_key``, or the legacy metadata
+        fallback) — a record left by an earlier sweep whose manifest
+        spec has since been edited is stale, not present.
+        """
         manifest = self.read_manifest()
         sweep = SweepSpec.from_dict(manifest["sweep"])
         existing = self.existing_records()
-        return tuple(run for run in sweep.expand()
-                     if run.run_id not in existing)
+        return tuple(
+            run for run in sweep.expand()
+            if run.run_id not in existing
+            or not record_matches_spec(existing[run.run_id], run))
 
     def resume(self, *, jobs: int = 1, executor=None, cache=None,
                progress: "Optional[ProgressFn]" = None) -> FleetResult:

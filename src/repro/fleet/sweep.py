@@ -11,12 +11,21 @@ under every seed.  ``expand()`` flattens the sweep into concrete
 :class:`RunRecord`, the portable result that crosses process
 boundaries and lands in the on-disk store.
 
+Run identity is *content-addressed*: :func:`run_key` hashes a run's
+complete inputs — canonical ``(spec JSON, seed, density)`` — into a
+SHA-256 digest, every finished :class:`RunRecord` is stamped with that
+digest (``spec_key``), and :func:`record_matches_spec` verifies a
+stored record against the :class:`RunSpec` it claims to answer.  The
+positional ``run_id`` (``name-v012-s42``) is display metadata only;
+resume, caching, and cross-fleet comparison all align on content.
+
 Every class here round-trips losslessly through ``to_dict``/``from_dict``
 and JSON, like the scenario layers they build on.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import dataclass
@@ -25,7 +34,31 @@ from typing import Any, Mapping, Sequence
 from ..core.evaluation import EvaluationSummary
 from ..scenarios.spec import ScenarioSpec
 
-__all__ = ["RunRecord", "RunSpec", "SweepAxis", "SweepSpec"]
+__all__ = [
+    "RunRecord",
+    "RunSpec",
+    "SweepAxis",
+    "SweepSpec",
+    "canonical_dumps",
+    "record_matches_spec",
+    "run_key",
+]
+
+
+def canonical_dumps(value: Any) -> str:
+    """Digest-stable JSON: sorted keys, compact separators.
+
+    Two structurally equal values always serialize to the same bytes,
+    so hashing this text gives a stable content address.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def run_key(spec: ScenarioSpec, seed: int, density: float) -> str:
+    """SHA-256 content address of one run's complete inputs."""
+    payload = {"spec": spec.to_dict(), "seed": int(seed),
+               "density": float(density)}
+    return hashlib.sha256(canonical_dumps(payload).encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -190,6 +223,16 @@ class RunSpec:
                                ScenarioSpec.from_dict(self.scenario))
         object.__setattr__(self, "variant", _variant_pairs(self.variant))
 
+    def spec_key(self) -> str:
+        """The run's content identity: :func:`run_key` over its inputs."""
+        return run_key(self.scenario, self.seed, self.density)
+
+    def legacy_identity(self) -> tuple:
+        """The metadata identity a digest-less (v2) record can be
+        checked against; see :meth:`RunRecord.legacy_identity`."""
+        return (self.scenario.name, self.seed, float(self.density),
+                self.variant)
+
     def to_dict(self) -> dict:
         return {"run_id": self.run_id,
                 "scenario": self.scenario.to_dict(),
@@ -208,7 +251,10 @@ class RunRecord:
     A pure function of ``(scenario, seed, density)`` — wall-clock
     timing deliberately lives in the manifest, not here, so serial and
     parallel executions of the same sweep produce bit-identical
-    records.
+    records.  ``spec_key`` is the :func:`run_key` digest of the inputs
+    the record was computed from; records written before manifest
+    schema v3 lack it (empty string) and fall back to the
+    ``(scenario, seed, density, variant)`` tuple for identity.
     """
 
     run_id: str
@@ -217,12 +263,32 @@ class RunRecord:
     density: float
     variant: tuple[tuple[str, Any], ...]
     summary: EvaluationSummary
+    spec_key: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "variant", _variant_pairs(self.variant))
         if isinstance(self.summary, Mapping):
             object.__setattr__(self, "summary",
                                EvaluationSummary.from_dict(self.summary))
+
+    def legacy_identity(self) -> tuple:
+        """The identity a digest-less (v2) record still carries:
+        ``(scenario, seed, density, variant)``.  Weaker than
+        ``spec_key`` — it cannot see base-spec edits that leave these
+        four unchanged — but it is all the metadata such records have.
+        """
+        return (self.scenario, self.seed, float(self.density),
+                self.variant)
+
+    def variant_key(self) -> tuple[tuple[str, Any], ...]:
+        """The record's grid coordinates, shared across seeds: the
+        variant pairs with the scenario prepended (when not already an
+        axis) and the sampling density appended — the grouping key for
+        per-variant aggregation and cross-fleet alignment."""
+        key = self.variant
+        if not any(name == "scenario" for name, _ in key):
+            key = (("scenario", self.scenario),) + key
+        return key + (("density", self.density),)
 
     def axis_value(self, key: str, default: Any = None) -> Any:
         """The run's value on one axis; ``scenario``/``seed`` always
@@ -237,10 +303,15 @@ class RunRecord:
         return default
 
     def to_dict(self) -> dict:
-        return {"run_id": self.run_id, "scenario": self.scenario,
+        data = {"run_id": self.run_id, "scenario": self.scenario,
                 "seed": self.seed, "density": self.density,
                 "variant": [list(p) for p in self.variant],
                 "summary": self.summary.to_dict()}
+        if self.spec_key:
+            # Omitted when absent so v2 (digest-less) records
+            # round-trip to their original payload bytes.
+            data["spec_key"] = self.spec_key
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunRecord":
@@ -252,3 +323,20 @@ class RunRecord:
     @classmethod
     def from_json(cls, text: str) -> "RunRecord":
         return cls.from_dict(json.loads(text))
+
+
+def record_matches_spec(record: RunRecord, run: RunSpec) -> bool:
+    """Whether ``record`` was computed from exactly ``run``'s inputs.
+
+    The stale-record guard behind resume: matching on ``run_id`` alone
+    would silently reuse records computed under an edited manifest
+    spec.  Stamped records compare content digests, which cover the
+    complete inputs.  Digest-less (v2) records can only be checked
+    against the metadata they carry — ``(scenario, seed, density,
+    variant)`` — which catches axis/seed/density edits but *not* a
+    base-spec edit that leaves all four unchanged; records written at
+    schema v3 or later close that gap.
+    """
+    if record.spec_key:
+        return record.spec_key == run.spec_key()
+    return record.legacy_identity() == run.legacy_identity()
