@@ -1,0 +1,157 @@
+"""Measurement-kernel benchmark — machine-readable perf tracking.
+
+Times one cold ``InfrastructureEvaluation(seed=42,
+scenario="klagenfurt").run()``, the warm-repeat distribution, the
+kernel stage breakdown, and the scalar reference pipeline, then writes
+``BENCH_campaign.json`` at the repo root so the performance trajectory
+is tracked in-repo.  CI's ``bench-smoke`` job re-runs this and fails
+when the median single-eval wall time regresses past 2x the committed
+baseline.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py
+    PYTHONPATH=src python benchmarks/bench_campaign.py --check BENCH_campaign.json
+
+or via pytest (prints, writes nothing)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_campaign.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_campaign.json"
+
+SCENARIO = "klagenfurt"
+SEED = 42
+DENSITY = 6.0
+#: CI fails when median wall exceeds baseline by this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def measure(repeats: int = 5) -> dict:
+    from repro.core.evaluation import InfrastructureEvaluation
+    from repro.probes.kernel import CampaignKernel
+
+    ev = InfrastructureEvaluation(seed=SEED, scenario=SCENARIO,
+                                  mean_positions_per_cell=DENSITY)
+
+    started = time.perf_counter()
+    result = ev.run()
+    cold_wall_s = time.perf_counter() - started
+    sample_count = len(result.dataset)
+
+    warm = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        ev.run()
+        warm.append(time.perf_counter() - started)
+    median_wall_s = statistics.median(warm)
+
+    # Kernel stage breakdown on a fresh campaign.
+    scenario = ev.build_scenario()
+    kernel = CampaignKernel(scenario.campaign(DENSITY))
+    kernel.run()
+
+    # Scalar reference pipeline (the pre-kernel hot path).
+    scenario = ev.build_scenario()
+    campaign = scenario.campaign(DENSITY)
+    started = time.perf_counter()
+    campaign.run(kernel=False)
+    scalar_campaign_s = time.perf_counter() - started
+
+    return {
+        "schema": 1,
+        "scenario": SCENARIO,
+        "seed": SEED,
+        "density": DENSITY,
+        "sample_count": sample_count,
+        "single_eval": {
+            "cold_wall_s": round(cold_wall_s, 6),
+            "median_wall_s": round(median_wall_s, 6),
+            "best_wall_s": round(min(warm), 6),
+            "repeats": repeats,
+        },
+        "measurements_per_sec": round(sample_count / median_wall_s, 1),
+        "kernel_stages_s": {name: round(value, 6)
+                            for name, value in
+                            kernel.stage_seconds.items()},
+        "scalar_reference": {
+            "campaign_wall_s": round(scalar_campaign_s, 6),
+        },
+        "kernel_speedup_campaign": round(
+            scalar_campaign_s / sum(kernel.stage_seconds.values()), 2),
+    }
+
+
+def check_regression(results: dict, baseline_path: Path) -> list[str]:
+    """Gate failures of ``results`` against a committed baseline.
+
+    The baseline was recorded on a different machine, so raw seconds
+    don't compare: a busy CI runner is easily 2-3x slower across the
+    board.  The scalar reference pipeline runs in the same process on
+    the same inputs, so its ratio to the baseline's scalar time is a
+    clean estimate of machine speed — the gate scales the committed
+    median by it before applying the 2x regression factor.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    machine_scale = (results["scalar_reference"]["campaign_wall_s"]
+                     / baseline["scalar_reference"]["campaign_wall_s"])
+    scaled_baseline = \
+        baseline["single_eval"]["median_wall_s"] * machine_scale
+    limit = scaled_baseline * REGRESSION_FACTOR
+    measured = results["single_eval"]["median_wall_s"]
+    if measured > limit:
+        failures.append(
+            f"single-eval median wall {measured:.4f}s exceeds "
+            f"{REGRESSION_FACTOR}x the committed baseline "
+            f"({baseline['single_eval']['median_wall_s']:.4f}s, scaled "
+            f"to {scaled_baseline:.4f}s for this machine's speed)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the JSON results")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON to gate against (exit 1 on "
+                             f"a >{REGRESSION_FACTOR}x regression)")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    results = measure(repeats=args.repeats)
+    print(json.dumps(results, indent=2))
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}", file=sys.stderr)
+
+    if args.check is not None:
+        failures = check_regression(results, args.check)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate: ok", file=sys.stderr)
+    return 0
+
+
+# -- pytest entry point ----------------------------------------------------
+
+def test_kernel_beats_scalar_reference():
+    """The kernel runs the campaign at least 3x faster than scalar."""
+    results = measure(repeats=3)
+    print("\n" + json.dumps(results, indent=2))
+    assert results["kernel_speedup_campaign"] >= 3.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@ from .coords import (
     GeoPoint,
     destination_point,
     haversine,
+    haversine_many,
     haversine_matrix,
     initial_bearing,
     path_length,
@@ -36,7 +37,8 @@ from .population import (
 )
 
 __all__ = [
-    "EARTH_RADIUS_M", "GeoPoint", "haversine", "haversine_matrix",
+    "EARTH_RADIUS_M", "GeoPoint", "haversine", "haversine_many",
+    "haversine_matrix",
     "initial_bearing", "destination_point", "path_length",
     "CellId", "Grid",
     "MobilitySample", "DriveTestRoute", "RandomWaypoint", "ManhattanMobility",

@@ -22,6 +22,7 @@ __all__ = [
     "EARTH_RADIUS_M",
     "GeoPoint",
     "haversine",
+    "haversine_many",
     "haversine_matrix",
     "initial_bearing",
     "destination_point",
@@ -91,6 +92,53 @@ def haversine_matrix(lats1: np.ndarray, lons1: np.ndarray,
          + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2)
     np.clip(a, 0.0, 1.0, out=a)
     return 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(a))
+
+
+def _elementwise(func, values: np.ndarray) -> np.ndarray:
+    """Apply a libm scalar function per element (no SIMD shortcuts)."""
+    out = np.empty_like(values)
+    flat_in, flat_out = values.ravel(), out.ravel()
+    for i in range(flat_in.size):
+        flat_out[i] = func(flat_in[i])
+    return out
+
+
+def _pysquare(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``x ** 2`` through CPython's float pow (not ``x*x``)."""
+    out = np.empty_like(values)
+    flat_in, flat_out = values.ravel(), out.ravel()
+    for i in range(flat_in.size):
+        flat_out[i] = float(flat_in[i]) ** 2
+    return out
+
+
+def haversine_many(lats1, lons1, lats2, lons2) -> np.ndarray:
+    """Broadcasting great-circle distances, bit-identical to the scalar.
+
+    Unlike :func:`haversine_matrix` (which is free to use whatever is
+    fastest), every element of the result is guaranteed to equal
+    ``haversine(lat1, lon1, lat2, lon2)`` *bitwise* — the contract the
+    measurement kernel's precomputed serving tables rely on, on every
+    platform.  Only IEEE-exact single operations (multiply, subtract,
+    add, sqrt, minimum) are vectorised; every transcendental runs
+    through libm per element, because NumPy may dispatch float64
+    ``sin``/``cos``/``arcsin``/``x**2`` to SIMD implementations
+    (e.g. vendored SVML on AVX512 hosts) that land one ulp away from
+    the ``math`` module — enough to flip a downstream serving-cell
+    argmax tie and change every random draw after it.
+    """
+    phi1 = np.radians(np.asarray(lats1, dtype=np.float64))
+    phi2 = np.radians(np.asarray(lats2, dtype=np.float64))
+    dphi = phi2 - phi1
+    dlam = np.radians(np.asarray(lons2, dtype=np.float64)
+                      - np.asarray(lons1, dtype=np.float64))
+    sin_dphi = _pysquare(_elementwise(math.sin, dphi / 2.0))
+    sin_dlam = _pysquare(_elementwise(math.sin, dlam / 2.0))
+    cos1 = _elementwise(math.cos, phi1)
+    cos2 = _elementwise(math.cos, phi2)
+    a = sin_dphi + cos1 * cos2 * sin_dlam
+    s = np.minimum(np.sqrt(a), 1.0)
+    return 2.0 * EARTH_RADIUS_M * _elementwise(math.asin, s)
 
 
 def initial_bearing(lat1: float, lon1: float,

@@ -18,6 +18,7 @@ import numpy as np
 from .latency import LatencyBreakdown
 from .link import Link, REFERENCE_PACKET_BITS
 from .node import Node
+from .pathkernel import CompiledPath
 
 __all__ = ["Topology"]
 
@@ -172,6 +173,18 @@ class Topology:
         forward = self.path_latency(path, size_bits, rng)
         back = self.path_latency(path[::-1], size_bits, rng)
         return forward + back
+
+    def compile_path(self, path: Iterable[str],
+                     size_bits: float = REFERENCE_PACKET_BITS
+                     ) -> "CompiledPath":
+        """Precompute a path's deterministic latency for hot sampling.
+
+        The returned :class:`~repro.net.pathkernel.CompiledPath` samples
+        round trips bit-identically to ``round_trip(path, size_bits,
+        rng).total`` without re-walking the graph.  It snapshots link
+        utilisations — recompile after mutating the topology.
+        """
+        return CompiledPath(self, list(path), size_bits)
 
     # -- analysis ---------------------------------------------------------
 

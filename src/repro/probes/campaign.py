@@ -231,9 +231,20 @@ class DriveTestCampaign:
 
     # -- full campaign -----------------------------------------------------
 
-    def run(self) -> MeasurementDataset:
+    def run(self, kernel: bool = True) -> MeasurementDataset:
         """Drive the route; measure each position against the cell's
-        targets; return the dataset."""
+        targets; return the dataset.
+
+        By default runs through the precomputed measurement kernel
+        (:class:`~repro.probes.kernel.CampaignKernel`), which is
+        bit-identical to the scalar pipeline but roughly an order of
+        magnitude faster.  ``kernel=False`` forces the scalar
+        reference path (one :meth:`sample_rtt` per measurement) —
+        the equivalence tests diff the two.
+        """
+        if kernel:
+            from .kernel import CampaignKernel
+            return CampaignKernel(self).run()
         dataset = MeasurementDataset()
         for sample in self.route.walk():
             cell = sample.cell

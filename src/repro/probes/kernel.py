@@ -1,0 +1,353 @@
+"""Precompute-then-sample kernel for the drive-test campaign.
+
+:meth:`DriveTestCampaign.run` used to bottom out in a scalar
+per-measurement pipeline: every one of the ~1.7k RTT samples re-derived
+the serving cell from six full link budgets (each constructing a fresh
+shadowing generator), re-walked the same networkx paths link by link,
+and re-validated the same immutable configuration.  This module
+restructures that hot path into three phases without moving a single
+random draw:
+
+1. **route materialisation** — consume the route walk (its draws live
+   on their own named stream, so materialising up front is invisible);
+2. **table precomputation** — the site x position distance matrix
+   (:func:`~repro.geo.coords.haversine_many`), the SINR matrix and its
+   argmax (serving cells), the shadowing tile field, per-config air
+   constants, per-gateway UPF queue parameters, backhaul one-way
+   delays, and :class:`~repro.net.pathkernel.CompiledPath` tables for
+   every (gateway, target) route;
+3. **stream-preserving sampling** — one tight loop over measurements
+   that makes *exactly* the stochastic draws of the scalar pipeline, in
+   the same order, on the same named streams, with the same float
+   operation order.
+
+The output dataset is bit-identical to the scalar path — guarded by
+``tests/test_campaign_kernel.py`` and the golden digests in
+``tests/test_golden_digests.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..net.pathkernel import CompiledPath
+from ..net.queueing import md1_wait
+from .results import MeasurementDataset
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .campaign import DriveTestCampaign, Gateway
+
+__all__ = ["CampaignKernel"]
+
+
+@dataclass(frozen=True)
+class _AirParams:
+    """Sampling constants of one radio configuration.
+
+    ``sr_span`` and ``grant_s`` are the precomputed products the scalar
+    path evaluates inline (same factors, same single rounding); the
+    HARQ term keeps its ``(retx * harq_rtt_slots) * slot`` association.
+    """
+
+    slot: float
+    proc_base: float
+    configured_grant: bool
+    sr_span: float
+    grant_s: float
+    harq_rtt_slots: int
+    max_retx: int
+    target_bler: float
+    buffer_service_s: float
+
+
+@dataclass(frozen=True)
+class _UpfParams:
+    """M/M/1 constants of one gateway's user-plane function."""
+
+    rho: float
+    service_s: float
+    #: exponential scale ``1 / (mu - lambda)``; None when the queue
+    #: draws nothing (zero load or zero service time)
+    scale: Optional[float]
+
+
+def _air_params(config) -> _AirParams:
+    slot = config.slot_s
+    return _AirParams(
+        slot=slot,
+        proc_base=config.processing_base_s,
+        configured_grant=config.configured_grant,
+        sr_span=config.sr_period_slots * slot,
+        grant_s=config.grant_delay_slots * slot,
+        harq_rtt_slots=config.harq_rtt_slots,
+        max_retx=config.max_harq_retx,
+        target_bler=config.target_bler,
+        buffer_service_s=config.buffer_service_s,
+    )
+
+
+def _upf_params(upf, packet_bits: float) -> _UpfParams:
+    service = upf.service_time_s(packet_bits)
+    rho = upf.load
+    if rho == 0.0 or service == 0.0:
+        return _UpfParams(rho, service, None)
+    mu = 1.0 / service
+    lam = rho * mu
+    return _UpfParams(rho, service, 1.0 / (mu - lam))
+
+
+def _sample_upf(rng, p: _UpfParams) -> float:
+    """Replica of ``UserPlaneFunction.sample_latency_s`` draws."""
+    if p.scale is None:
+        return 0.0 + p.service_s
+    busy = rng.random() < p.rho
+    wait = rng.exponential(p.scale)
+    w = float(wait) if busy else 0.0
+    return w + p.service_s
+
+
+def _sample_air_rtt(rng, p: _AirParams, load: float,
+                    queue_mean: float, bler: float) -> float:
+    """Replica of ``AirInterface.sample_rtt`` (UL + DL) draws.
+
+    ``queue_mean`` is the precomputed M/D/1 wait for ``load`` (unused
+    when ``load`` is zero); ``bler`` the precomputed block error rate
+    for the measurement's SINR.
+
+    ``Generator.uniform(0, h)`` computes ``h * next_double`` — the
+    expanded ``h * random()`` form below is bitwise- and
+    stream-equivalent at a third of the call overhead (guarded, like
+    every equivalence this module relies on, by the kernel-vs-scalar
+    and golden-digest tests).
+    """
+    random = rng.random
+    exponential = rng.exponential
+    # Uplink.
+    delay = p.proc_base
+    if not p.configured_grant:
+        delay += p.sr_span * random()       # SR wait ~ U(0, sr period)
+        delay += p.grant_s
+    delay += p.slot * random()              # frame alignment ~ U(0, slot)
+    if load != 0.0:
+        delay += float(exponential(queue_mean))
+    delay += p.slot
+    retx = 0
+    if bler > 0.0:
+        while retx < p.max_retx and random() < bler:
+            retx += 1
+    delay += retx * p.harq_rtt_slots * p.slot
+    uplink = delay
+    # Downlink.
+    delay = p.proc_base + p.slot * random()
+    if load != 0.0:
+        delay += float(exponential(queue_mean))
+    delay += p.slot
+    retx = 0
+    if bler > 0.0:
+        while retx < p.max_retx and random() < bler:
+            retx += 1
+    delay += retx * p.harq_rtt_slots * p.slot
+    return uplink + delay
+
+
+class CampaignKernel:
+    """Runs one campaign through the precomputed fast path.
+
+    Build from a :class:`~repro.probes.campaign.DriveTestCampaign`;
+    :meth:`run` returns the same :class:`MeasurementDataset` (bitwise)
+    as the scalar pipeline.  ``stage_seconds`` holds the wall time of
+    each kernel phase after a run — the benchmark reads it.
+    """
+
+    def __init__(self, campaign: "DriveTestCampaign"):
+        self.campaign = campaign
+        self.stage_seconds: dict[str, float] = {}
+
+    # -- precomputed tables -------------------------------------------------
+
+    def _cell_context(self, cell):
+        """Per-cell constants: targets, gateway, streams, handover."""
+        camp = self.campaign
+        config = camp.config
+        gateway = camp._gateway_for(cell)
+        return (
+            config.targets.get(cell, config.default_targets),
+            gateway,
+            config.handover_prob.get(cell, 0.0),
+            camp.rng.stream("campaign.air", cell.label),
+            camp.rng.stream("campaign.net", cell.label),
+            camp.rng.stream("campaign.handover", cell.label),
+        )
+
+    def _wired_entry(self, gateway: "Gateway", target: str):
+        """Compiled internet round trip gateway -> wired target."""
+        from .campaign import PING_SIZE_BITS
+        camp = self.campaign
+        path = list(camp.routes.route(gateway.node_name, target).path)
+        compiled = camp.routes.topology.compile_path(path, PING_SIZE_BITS)
+        forwarding = camp.routes.topology.node(target).forwarding_delay_s
+        return compiled, forwarding
+
+    def _transit_entry(self, own: "Gateway", peer_gw: "Gateway"):
+        """Compiled inter-gateway transit for cross-breakout hairpins."""
+        from .campaign import PING_SIZE_BITS
+        camp = self.campaign
+        path = list(camp.routes.route(own.node_name,
+                                      peer_gw.node_name).path)
+        return camp.routes.topology.compile_path(path, PING_SIZE_BITS)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> MeasurementDataset:
+        from .campaign import PING_SIZE_BITS
+        camp = self.campaign
+        config = camp.config
+        channel = camp.radio.channel
+        bler_of = channel.bler
+        interruption = config.handover_interruption_s
+
+        # Phase 1: materialise the route (draws stay on its stream).
+        t0 = time.perf_counter()
+        samples = [s for s in camp.route.walk() if s.cell is not None]
+        t1 = time.perf_counter()
+
+        # Phase 2a: vectorised serving-cell selection for every position.
+        serving = camp.radio.serving_many([s.position for s in samples])
+        t2 = time.perf_counter()
+
+        # Phase 2b: per-cell / per-gateway / per-path tables.
+        cell_ctx = {}
+        for sample in samples:
+            if sample.cell not in cell_ctx:
+                cell_ctx[sample.cell] = self._cell_context(sample.cell)
+
+        air_params: dict[int, _AirParams] = {}
+        for gnb in camp.radio.gnbs():
+            if id(gnb.config) not in air_params:
+                air_params[id(gnb.config)] = _air_params(gnb.config)
+
+        peer_gnb = camp.radio.gnbs()[config.peer_site_index]
+        peer_params = air_params[id(peer_gnb.config)]
+        upf_params: dict[str, _UpfParams] = {}
+        backhaul2: dict[tuple[str, str], float] = {}
+        peer_backhaul2: dict[str, float] = {}
+        transit: dict[tuple[str, str], CompiledPath] = {}
+
+        def gateway_tables(gw: "Gateway") -> None:
+            if gw.name in upf_params:
+                return
+            upf_params[gw.name] = _upf_params(gw.upf, PING_SIZE_BITS)
+            for gnb in camp.radio.gnbs():
+                backhaul2[(gnb.name, gw.name)] = \
+                    2.0 * camp._backhaul_one_way_s(gnb.location, gw)
+            peer_backhaul2[gw.name] = \
+                2.0 * camp._backhaul_one_way_s(peer_gnb.location, gw)
+
+        wired: dict[tuple[str, str], tuple[CompiledPath, float]] = {}
+        peer_meta: dict[str, tuple] = {}
+        for cell, (targets, gateway, _, _, _, _) in cell_ctx.items():
+            gateway_tables(gateway)
+            for target in targets:
+                peer = config.peers.get(target)
+                if peer is None:
+                    key = (gateway.node_name, target)
+                    if key not in wired:
+                        wired[key] = self._wired_entry(gateway, target)
+                    continue
+                peer_gw = gateway if peer.gateway is None \
+                    else config.gateways[peer.gateway]
+                gateway_tables(peer_gw)
+                if peer_gw.name != gateway.name:
+                    tkey = (gateway.node_name, peer_gw.node_name)
+                    if tkey not in transit:
+                        transit[tkey] = self._transit_entry(
+                            gateway, peer_gw)
+                if target not in peer_meta:
+                    peer_meta[target] = (
+                        peer,
+                        md1_wait(peer.air_load,
+                                 peer_params.buffer_service_s)
+                        if peer.air_load != 0.0 else 0.0,
+                        bler_of(peer.sinr_db,
+                                target_bler=peer_params.target_bler),
+                    )
+
+        load_cache: dict[tuple, float] = {}
+        queue_mean: dict[tuple[float, float], float] = {}
+        t3 = time.perf_counter()
+
+        # Phase 3: the sampling loop — every draw in scalar order.
+        dataset = MeasurementDataset()
+        add = dataset.add
+        for i, sample in enumerate(samples):
+            cell = sample.cell
+            targets, gateway, p_ho, rng_air, rng_net, rng_ho = \
+                cell_ctx[cell]
+            gnb, sinr_db = serving[i]
+            lkey = (cell, gnb.name)
+            load = load_cache.get(lkey)
+            if load is None:
+                load = camp._cell_load(cell, gnb.load)
+                load_cache[lkey] = load
+            params = air_params[id(gnb.config)]
+            if load != 0.0:
+                qkey = (load, params.buffer_service_s)
+                qmean = queue_mean.get(qkey)
+                if qmean is None:
+                    qmean = md1_wait(load, params.buffer_service_s)
+                    queue_mean[qkey] = qmean
+            else:
+                qmean = 0.0
+            own_backhaul = backhaul2[(gnb.name, gateway.name)]
+            own_upf = upf_params[gateway.name]
+            bler = bler_of(sinr_db, target_bler=params.target_bler)
+            time_s = sample.time
+
+            for target in targets:
+                # Own radio access + core legs.
+                rtt = _sample_air_rtt(rng_air, params, load, qmean, bler)
+                rtt += own_backhaul
+                rtt += 2.0 * _sample_upf(rng_net, own_upf)
+
+                meta = peer_meta.get(target)
+                if meta is not None:
+                    # Hairpin to a mobile peer.
+                    peer, peer_qmean, peer_bler = meta
+                    leg = 0.0
+                    peer_gw = gateway if peer.gateway is None \
+                        else config.gateways[peer.gateway]
+                    if peer_gw.name != gateway.name:
+                        leg += transit[
+                            (gateway.node_name, peer_gw.node_name)
+                        ].sample_round_trip(rng_net)
+                    leg += 2.0 * _sample_upf(
+                        rng_net, upf_params[peer_gw.name])
+                    leg += peer_backhaul2[peer_gw.name]
+                    leg += _sample_air_rtt(rng_air, peer_params,
+                                           peer.air_load, peer_qmean,
+                                           peer_bler)
+                    rtt += leg
+                else:
+                    # Policy-routed internet to a wired target.
+                    compiled, forwarding = \
+                        wired[(gateway.node_name, target)]
+                    leg = compiled.sample_round_trip(rng_net)
+                    leg += forwarding
+                    rtt += leg
+
+                # Handover interruption landing in the window.
+                # 0.5 + 0.5*r is the expanded uniform(0.5, 1.0).
+                if p_ho > 0.0 and rng_ho.random() < p_ho:
+                    rtt += interruption * (0.5 + 0.5 * rng_ho.random())
+                add(time_s, cell, target, rtt)
+        t4 = time.perf_counter()
+
+        self.stage_seconds = {
+            "route_walk": t1 - t0,
+            "serving_matrix": t2 - t1,
+            "tables": t3 - t2,
+            "sampling": t4 - t3,
+        }
+        return dataset

@@ -20,6 +20,7 @@ structure.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 import numpy as np
 
@@ -52,6 +53,12 @@ class ChannelModel:
         self.bandwidth_hz = bandwidth_hz
         self.shadowing_sigma_db = shadowing_sigma_db
         self.seed = seed
+        #: tile -> shadowing memo; the draw is a pure function of
+        #: (seed, sigma, quantized tile), so caching it is
+        #: observationally invisible.  ``_shadow_inputs`` guards the
+        #: memo against post-hoc mutation of the public attributes.
+        self._shadow_cache: dict[tuple[int, int], float] = {}
+        self._shadow_inputs = (seed, shadowing_sigma_db)
 
     # -- link budget ----------------------------------------------------
 
@@ -67,6 +74,25 @@ class ChannelModel:
         fc_ghz = self.fc_hz / 1e9
         return 13.54 + 39.08 * math.log10(d) + 20.0 * math.log10(fc_ghz)
 
+    def pathloss_db_many(self, distances_m: np.ndarray) -> np.ndarray:
+        """Batch path loss, element-wise bitwise-equal to ``pathloss_db``.
+
+        ``log10`` runs through :func:`math.log10` per element (NumPy's
+        SIMD ``log10`` may differ from libm in the last ulp); the
+        surrounding arithmetic keeps the scalar's operation order.
+        """
+        d = np.asarray(distances_m, dtype=np.float64)
+        if np.any(d < 0):
+            raise ValueError("distance must be non-negative")
+        d = np.maximum(d, 10.0)
+        logs = np.empty_like(d)
+        flat_in, flat_out = d.ravel(), logs.ravel()
+        log10 = math.log10
+        for i in range(flat_in.size):
+            flat_out[i] = log10(flat_in[i])
+        fc_ghz = self.fc_hz / 1e9
+        return (13.54 + 39.08 * logs) + 20.0 * math.log10(fc_ghz)
+
     def shadowing_db(self, location: GeoPoint) -> float:
         """Spatially consistent shadowing: a deterministic draw per spot.
 
@@ -74,10 +100,28 @@ class ChannelModel:
         same shadowing value, approximating the de-correlation distance
         of urban log-normal shadowing.
         """
+        inputs = (self.seed, self.shadowing_sigma_db)
+        if inputs != self._shadow_inputs:
+            self._shadow_cache.clear()
+            self._shadow_inputs = inputs
         tile = (round(location.lat * 1e4), round(location.lon * 1e4))
-        rng = np.random.Generator(np.random.PCG64(
-            stable_seed(self.seed, "shadow", *tile)))
-        return float(rng.normal(0.0, self.shadowing_sigma_db))
+        value = self._shadow_cache.get(tile)
+        if value is None:
+            rng = np.random.Generator(np.random.PCG64(
+                stable_seed(self.seed, "shadow", *tile)))
+            value = float(rng.normal(0.0, self.shadowing_sigma_db))
+            self._shadow_cache[tile] = value
+        return value
+
+    def shadowing_db_many(self, locations: Sequence[GeoPoint]) -> np.ndarray:
+        """Shadowing for a batch of locations (populates the tile memo).
+
+        Each unique tile derives its generator exactly once; repeated
+        tiles along a drive route are free.  Element ``i`` equals
+        ``shadowing_db(locations[i])`` bitwise.
+        """
+        return np.array([self.shadowing_db(p) for p in locations],
+                        dtype=np.float64)
 
     @property
     def noise_dbm(self) -> float:
@@ -100,6 +144,28 @@ class ChannelModel:
                   - self.shadowing_db(location))
         interference_margin = 6.0 * load
         return rx_dbm - self.noise_dbm - interference_margin
+
+    def sinr_db_grid(self, distances_m: np.ndarray,
+                     locations: Sequence[GeoPoint],
+                     loads: Sequence[float]) -> np.ndarray:
+        """SINR matrix over sites x positions, bitwise-equal to scalars.
+
+        ``distances_m`` is the ``(sites, positions)`` great-circle
+        matrix, ``locations`` the positions (for shadowing), ``loads``
+        the per-site scheduler loads.  Element ``[i, j]`` equals
+        ``sinr_db(distances_m[i, j], locations[j], loads[i])`` bitwise —
+        the guarantee that lets serving-cell selection become an argmax
+        over this matrix.
+        """
+        loads_arr = np.asarray(loads, dtype=np.float64)
+        if loads_arr.size and (loads_arr.min() < 0.0
+                               or loads_arr.max() > 1.0):
+            raise ValueError("load must be in [0, 1]")
+        pl = self.pathloss_db_many(distances_m)
+        shadow = self.shadowing_db_many(locations)
+        rx = ((self.tx_power_dbm + self.antenna_gain_db) - pl) - shadow
+        margins = 6.0 * loads_arr
+        return (rx - self.noise_dbm) - margins[:, None]
 
     # -- error performance -----------------------------------------------
 

@@ -15,9 +15,11 @@ control plane in :mod:`repro.ran.oran` attaches at that level.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
-from ..geo.coords import GeoPoint
+import numpy as np
+
+from ..geo.coords import GeoPoint, haversine_many
 from .channel import ChannelModel
 from .phy import AirInterface
 from .spectrum import RadioConfig
@@ -103,6 +105,36 @@ class RadioNetwork:
         assert best is not None
         return best, best_sinr
 
+    def serving_many(self, positions: Sequence[GeoPoint],
+                     load_aware: bool = True
+                     ) -> list[tuple[GNodeB, float]]:
+        """Best server for a batch of positions, bitwise-equal to
+        :meth:`serving` per element.
+
+        Precomputes the full site x position distance and SINR matrices
+        (one vectorised pass instead of ``sites`` scalar link budgets
+        per position) and reduces by argmax.  NumPy's argmax returns the
+        *first* maximum, matching the scalar loop's strict ``>`` update
+        over sites in registration order, so ties resolve identically.
+        """
+        if not self._gnbs:
+            raise RuntimeError("radio network has no gNBs")
+        positions = list(positions)
+        if not positions:
+            return []
+        sites = list(self._gnbs.values())
+        site_lats = np.array([g.location.lat for g in sites])
+        site_lons = np.array([g.location.lon for g in sites])
+        pos_lats = np.array([p.lat for p in positions])
+        pos_lons = np.array([p.lon for p in positions])
+        distances = haversine_many(site_lats[:, None], site_lons[:, None],
+                                   pos_lats[None, :], pos_lons[None, :])
+        loads = [g.load if load_aware else 0.0 for g in sites]
+        sinr = self.channel.sinr_db_grid(distances, positions, loads)
+        best = np.argmax(sinr, axis=0)
+        return [(sites[i], float(sinr[i, j]))
+                for j, i in enumerate(best)]
+
     def air_interface(self, gnb: GNodeB | str) -> AirInterface:
         """Air-interface sampler for one site's configuration."""
         if isinstance(gnb, str):
@@ -111,4 +143,5 @@ class RadioNetwork:
 
     def coverage_sinr(self, positions: Iterable[GeoPoint]) -> list[float]:
         """Best-server SINR at each position (coverage-map helper)."""
-        return [self.serving(p, load_aware=False)[1] for p in positions]
+        return [sinr for _, sinr in
+                self.serving_many(list(positions), load_aware=False)]

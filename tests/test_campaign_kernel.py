@@ -1,0 +1,75 @@
+"""Kernel-vs-scalar equivalence for the drive-test campaign.
+
+The measurement kernel (probes.kernel) must be *observationally
+invisible*: for any scenario and seed, ``campaign.run()`` (kernel) and
+``campaign.run(kernel=False)`` (the scalar reference pipeline) produce
+byte-for-byte identical datasets.  These tests are the enforcement
+mechanism for every precompute/vectorisation trick the kernel plays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.probes.kernel import CampaignKernel
+from repro.scenarios import build, get
+
+
+def run_both(name: str, seed: int, density: float):
+    scalar = build(get(name), seed=seed).campaign(density).run(kernel=False)
+    kernel = build(get(name), seed=seed).campaign(density).run()
+    return scalar, kernel
+
+
+def assert_datasets_identical(a, b):
+    assert len(a) == len(b)
+    assert (a.times == b.times).all()
+    assert (a.rtts == b.rtts).all()
+    recs_a, recs_b = list(a.records()), list(b.records())
+    for ra, rb in zip(recs_a, recs_b):
+        assert ra == rb
+
+
+@pytest.mark.parametrize("scenario", ["klagenfurt", "skopje"])
+@pytest.mark.parametrize("seed", [7, 42, 123])
+def test_kernel_bitwise_identical_to_scalar(scenario, seed):
+    scalar, kernel = run_both(scenario, seed, density=2.0)
+    assert_datasets_identical(scalar, kernel)
+
+
+def test_kernel_identical_at_full_density():
+    scalar, kernel = run_both("klagenfurt", 42, density=6.0)
+    assert_datasets_identical(scalar, kernel)
+
+
+def test_kernel_identical_under_spec_overrides():
+    """Breakout reassignment and handover knobs flow through the kernel."""
+    spec = get("klagenfurt").with_overrides({
+        "campaign.handover_interruption_s": 0.06,
+    })
+    scalar = build(spec, seed=9).campaign(2.0).run(kernel=False)
+    kernel = build(spec, seed=9).campaign(2.0).run()
+    assert_datasets_identical(scalar, kernel)
+
+
+def test_kernel_reports_stage_breakdown():
+    campaign = build(get("klagenfurt"), seed=42).campaign(2.0)
+    kern = CampaignKernel(campaign)
+    assert kern.stage_seconds == {}
+    kern.run()
+    assert set(kern.stage_seconds) == {
+        "route_walk", "serving_matrix", "tables", "sampling"}
+    assert all(v >= 0.0 for v in kern.stage_seconds.values())
+
+
+def test_kernel_leaves_streams_where_scalar_does():
+    """After a run, every named stream sits at the same position."""
+    sc_scalar = build(get("klagenfurt"), seed=42)
+    sc_kernel = build(get("klagenfurt"), seed=42)
+    sc_scalar.campaign(2.0).run(kernel=False)
+    sc_kernel.campaign(2.0).run()
+    streams = sorted(sc_scalar.rng)
+    assert streams == sorted(sc_kernel.rng)
+    for key in streams:
+        a = sc_scalar.rng.stream(*key).random()
+        b = sc_kernel.rng.stream(*key).random()
+        assert a == b

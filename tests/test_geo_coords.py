@@ -147,3 +147,60 @@ def test_bearing_range():
 
 def test_geopoint_str_format():
     assert str(GeoPoint(46.6247, 14.305)) == "(46.6247, 14.3050)"
+
+
+# ---------------------------------------------------------------------------
+# haversine_many — the measurement kernel's bitwise contract
+# ---------------------------------------------------------------------------
+
+def test_haversine_many_bitwise_equals_scalar_randomised():
+    """Element-wise *bitwise* equality against the scalar haversine.
+
+    The vectorised serving tables select cells by argmax over values
+    built from these distances, so 'close enough' is not enough: a
+    single differing ulp could flip a tie and change every downstream
+    random draw.
+    """
+    rng = np.random.default_rng(2025)
+    lats1 = rng.uniform(-89.9, 89.9, 4096)
+    lons1 = rng.uniform(-180.0, 180.0, 4096)
+    lats2 = rng.uniform(-89.9, 89.9, 4096)
+    lons2 = rng.uniform(-180.0, 180.0, 4096)
+    from repro.geo import haversine_many
+    many = haversine_many(lats1, lons1, lats2, lons2)
+    for i in range(lats1.size):
+        scalar = haversine(lats1[i], lons1[i], lats2[i], lons2[i])
+        assert many[i] == scalar, (
+            f"bitwise mismatch at {i}: {many[i]!r} != {scalar!r}")
+
+
+@given(lat_st, lon_st, lat_st, lon_st)
+def test_haversine_many_bitwise_equals_scalar_property(lat1, lon1,
+                                                       lat2, lon2):
+    from repro.geo import haversine_many
+    many = haversine_many(np.array([lat1]), np.array([lon1]),
+                          np.array([lat2]), np.array([lon2]))
+    assert many[0] == haversine(lat1, lon1, lat2, lon2)
+
+
+def test_haversine_many_broadcasts_to_matrix():
+    from repro.geo import haversine_many
+    site_lats = np.array([46.62, 46.65])
+    site_lons = np.array([14.30, 14.28])
+    pos_lats = np.array([46.60, 46.61, 46.64])
+    pos_lons = np.array([14.29, 14.33, 14.27])
+    matrix = haversine_many(site_lats[:, None], site_lons[:, None],
+                            pos_lats[None, :], pos_lons[None, :])
+    assert matrix.shape == (2, 3)
+    for i in range(2):
+        for j in range(3):
+            assert matrix[i, j] == haversine(
+                site_lats[i], site_lons[i], pos_lats[j], pos_lons[j])
+
+
+def test_haversine_many_antipodal_and_identical_points():
+    from repro.geo import haversine_many
+    many = haversine_many(np.array([0.0, 0.0]), np.array([0.0, 0.0]),
+                          np.array([0.0, 0.0]), np.array([0.0, 180.0]))
+    assert many[0] == 0.0
+    assert many[1] == haversine(0.0, 0.0, 0.0, 180.0)

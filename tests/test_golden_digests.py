@@ -1,0 +1,45 @@
+"""Golden digests: the bit-identity tripwire for perf work.
+
+Each digest is the SHA-256 of ``EvaluationSummary.canonical_json()``
+for a registered scenario at the paper's seed.  Any change anywhere in
+the measurement pipeline — RNG consumption order, float operation
+order, serving-cell tie-breaks, serialization — flips these bytes.
+
+If one of these assertions fails, a change broke bit-reproducibility:
+every content-addressed cache entry (``fleet.cache.run_key``) and every
+cross-fleet comparison baseline silently invalidates.  Do NOT update
+the constants to make the suite green unless the change *intends* to
+alter simulation results, and say so loudly in the changelog.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.evaluation import InfrastructureEvaluation
+
+GOLDEN_SHA256 = {
+    "klagenfurt":
+        "fadf1e06761655ceaa4d88bbdcf49344f7687cb3041cb1a51b514305b7c92add",
+    "skopje":
+        "226d7020331b6453943c5603a875045d285d9e451a753bc78665e8f7a68a52df",
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(GOLDEN_SHA256))
+def test_golden_summary_digest(scenario):
+    summary = InfrastructureEvaluation(
+        seed=42, scenario=scenario).run().summary()
+    digest = hashlib.sha256(
+        summary.canonical_json().encode("utf-8")).hexdigest()
+    assert digest == GOLDEN_SHA256[scenario], (
+        f"{scenario} @ seed 42 produced digest {digest}; the committed "
+        f"golden value is {GOLDEN_SHA256[scenario]}. A code change "
+        "altered simulation bytes — see this module's docstring before "
+        "touching the constant.")
+
+
+def test_golden_digest_is_run_to_run_stable():
+    a = InfrastructureEvaluation(seed=42).run().summary().canonical_json()
+    b = InfrastructureEvaluation(seed=42).run().summary().canonical_json()
+    assert a == b

@@ -297,3 +297,81 @@ def test_handover_validation(channel):
         HandoverModel(net, a3_offset_db=-1.0)
     with pytest.raises(ValueError):
         HandoverModel(net, interruption_jitter=1.0)
+
+
+# ---------------------------------------------------------------------------
+# batch link budget — the measurement kernel's bitwise contracts
+# ---------------------------------------------------------------------------
+
+def test_shadowing_memo_caches_per_tile(channel):
+    spot = GeoPoint(46.6201, 14.3002)
+    assert not channel._shadow_cache
+    first = channel.shadowing_db(spot)
+    assert len(channel._shadow_cache) == 1
+    assert channel.shadowing_db(spot) == first
+    assert len(channel._shadow_cache) == 1
+    channel.shadowing_db(GeoPoint(46.63, 14.32))
+    assert len(channel._shadow_cache) == 2
+
+
+def test_shadowing_memo_matches_fresh_instance(channel):
+    """The memoized draw equals an uncached model's draw."""
+    fresh = ChannelModel(3.5e9, seed=7)
+    spots = [GeoPoint(46.62 + 0.001 * i, 14.30 + 0.0007 * i)
+             for i in range(20)]
+    for spot in spots:
+        assert channel.shadowing_db(spot) == fresh.shadowing_db(spot)
+    batch = channel.shadowing_db_many(spots)
+    for value, spot in zip(batch, spots):
+        assert value == fresh.shadowing_db(spot)
+
+
+def test_pathloss_many_bitwise_equals_scalar(channel):
+    rng = np.random.default_rng(11)
+    distances = np.concatenate([
+        rng.uniform(0.0, 20e3, 500), [0.0, 5.0, 10.0, 10.0001]])
+    batch = channel.pathloss_db_many(distances)
+    for d, value in zip(distances, batch):
+        assert value == channel.pathloss_db(float(d))
+    with pytest.raises(ValueError):
+        channel.pathloss_db_many(np.array([-1.0]))
+
+
+def test_sinr_grid_bitwise_equals_scalar(channel):
+    positions = [GeoPoint(46.62 + 0.002 * i, 14.28 + 0.003 * i)
+                 for i in range(8)]
+    sites = [GeoPoint(46.62, 14.28), GeoPoint(46.62, 14.32),
+             GeoPoint(46.64, 14.30)]
+    loads = [0.0, 0.4, 0.85]
+    distances = np.array([[s.distance_to(p) for p in positions]
+                          for s in sites])
+    grid = channel.sinr_db_grid(distances, positions, loads)
+    assert grid.shape == (3, 8)
+    for i, (site, load) in enumerate(zip(sites, loads)):
+        for j, pos in enumerate(positions):
+            scalar = channel.sinr_db(site.distance_to(pos), pos, load=load)
+            assert grid[i, j] == scalar
+    with pytest.raises(ValueError):
+        channel.sinr_db_grid(distances, positions, [0.0, 1.5, 0.0])
+
+
+def test_serving_many_bitwise_equals_scalar(channel):
+    net = make_network(channel)
+    net.gnb("gnb-east").load = 0.5
+    rng = np.random.default_rng(3)
+    positions = [GeoPoint(46.60 + float(dlat), 14.26 + float(dlon))
+                 for dlat, dlon in zip(rng.uniform(0, 0.04, 40),
+                                       rng.uniform(0, 0.08, 40))]
+    for load_aware in (True, False):
+        batch = net.serving_many(positions, load_aware=load_aware)
+        for pos, (gnb, sinr) in zip(positions, batch):
+            want_gnb, want_sinr = net.serving(pos, load_aware=load_aware)
+            assert gnb is want_gnb
+            assert sinr == want_sinr
+
+
+def test_serving_many_edge_cases(channel):
+    net = make_network(channel)
+    assert net.serving_many([]) == []
+    with pytest.raises(RuntimeError):
+        RadioNetwork(channel).serving_many([CENTRE])
