@@ -34,6 +34,9 @@ or from the command line: ``python -m repro evaluate --scenario skopje``
 (``python -m repro scenarios`` lists the registry).
 """
 
+
+from __future__ import annotations
+
 from . import units
 
 __version__ = "1.0.0"

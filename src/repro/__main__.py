@@ -14,6 +14,11 @@ compare       align two or more fleet directories (or result caches)
               by run content identity and print per-variant metric
               deltas (``--baseline``, ``--csv``, ``--json``;
               ``--fail-on METRIC:PCT`` gates CI with a nonzero exit)
+lint          statically check the determinism contracts (REP001..
+              REP006: ambient randomness, wall-clock reads, unordered
+              iteration, SIMD transcendentals, frozen-spec mutation,
+              executor payloads) against ``[tool.repro-lint]`` and the
+              committed baseline; exit 1 on any new finding
 peering       run the Section V-A local-peering what-if
 upf           run the Section V-B UPF placement comparison
 cpf           run the Section V-C control-plane comparison
@@ -213,6 +218,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import run_lint
+
+    return run_lint(
+        args.paths,
+        output_format=args.format,
+        write_baseline=args.write_baseline,
+        no_baseline=args.no_baseline,
+        list_rules=args.list_rules,
+    )
+
+
 def cmd_peering(args: argparse.Namespace) -> int:
     outcome = LocalPeeringExperiment(
         KlagenfurtScenario(seed=args.seed)).run()
@@ -282,6 +299,7 @@ COMMANDS = {
     "scenarios": cmd_scenarios,
     "sweep": cmd_sweep,
     "compare": cmd_compare,
+    "lint": cmd_lint,
     "peering": cmd_peering,
     "upf": cmd_upf,
     "cpf": cmd_cpf,
@@ -299,7 +317,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("paths", nargs="*", metavar="DIR",
                         help="with compare: two or more fleet "
                              "directories or result caches (first is "
-                             "the baseline unless --baseline is given)")
+                             "the baseline unless --baseline is "
+                             "given); with lint: files/directories to "
+                             "check (default: the configured paths)")
     parser.add_argument("--seed", type=int, default=42,
                         help="scenario seed (default 42)")
     parser.add_argument("--scenario", default="klagenfurt",
@@ -357,10 +377,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--csv", default="", metavar="FILE",
                         help="with compare: also write the delta rows "
                              "as CSV")
+    parser.add_argument("--format", default="text",
+                        choices=["text", "json"],
+                        help="with lint: report format (default text)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="with lint: accept the current findings "
+                             "as the committed baseline")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="with lint: report every finding, "
+                             "ignoring the baseline file")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="with lint: print the REP rule catalog "
+                             "and exit")
     args = parser.parse_args(argv)
-    if args.paths and args.command != "compare":
-        # The DIR positionals exist for compare alone; swallowing them
-        # elsewhere would turn a typo into a silently-defaulted run.
+    if args.paths and args.command not in ("compare", "lint"):
+        # The DIR positionals exist for compare and lint alone;
+        # swallowing them elsewhere would turn a typo into a
+        # silently-defaulted run.
         parser.error(f"unrecognized arguments for {args.command}: "
                      f"{' '.join(args.paths)}")
     return COMMANDS[args.command](args)

@@ -1,5 +1,8 @@
 """Application workloads: the AR use case, video, IoT protocols, domains."""
 
+
+from __future__ import annotations
+
 from .ar_game import (
     AR_RTT_BUDGET_S,
     ARGameSession,

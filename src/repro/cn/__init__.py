@@ -1,5 +1,8 @@
 """5G/6G core network: NFs, SBI, procedures, UPF, QoS, slicing, hypervisors."""
 
+
+from __future__ import annotations
+
 from .gtp import GtpTunnel
 from .hypervisor import HypervisorPlanner, PlacementObjective, PlacementResult
 from .nf import NetworkFunction, NFKind, SbiBus, SiteTier

@@ -1,5 +1,8 @@
 """The paper's analytical framework: requirements, evaluation, remedies."""
 
+
+from __future__ import annotations
+
 from .cpf_strategy import CpfComparison, CpfEnhancementStudy, QosCacheStudy
 from .evaluation import (
     EvaluationResult,

@@ -42,6 +42,9 @@ Or from the shell::
     python -m repro compare fleet-out fleet-prev --fail-on mobile_mean_ms:2
 """
 
+
+from __future__ import annotations
+
 from .cache import CacheStats, CachingExecutor, ResultCache, run_key
 from .compare import (
     COMPARE_METRICS,

@@ -32,7 +32,7 @@ import uuid
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterator, Optional, Sequence, Union
+from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 
 from .executors import Executor, RunOutcome
 # canonical_dumps/run_key moved to .sweep (they define run identity,
@@ -54,7 +54,7 @@ OBJECTS_DIR = "objects"
 ORPHAN_TMP_TTL_S = 3600.0
 
 
-def _payload_sha256(record_dict: dict) -> str:
+def _payload_sha256(record_dict: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical_dumps(record_dict).encode()).hexdigest()
 
 
@@ -71,7 +71,7 @@ class CacheStats:
 class ResultCache:
     """One on-disk content-addressed store of run records."""
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.stats = CacheStats()
 
@@ -187,7 +187,7 @@ class CachingExecutor:
     """Read-through, write-back cache over any executor backend."""
 
     def __init__(self, inner: Executor,
-                 cache: Union[ResultCache, str, Path]):
+                 cache: Union[ResultCache, str, Path]) -> None:
         self.inner = inner
         self.cache = (cache if isinstance(cache, ResultCache)
                       else ResultCache(cache))
@@ -228,7 +228,7 @@ class CachingExecutor:
         inner_future = self.inner.submit(run)
         outer: "Future[RunOutcome]" = Future()
 
-        def _store(done: Future) -> None:
+        def _store(done: "Future[RunOutcome]") -> None:
             # Any failure here — the run's own error, cancellation, an
             # unwritable cache — must land on the outer future, or
             # callers of ``result()`` would block forever.
@@ -274,5 +274,5 @@ class CachingExecutor:
     def __enter__(self) -> "CachingExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

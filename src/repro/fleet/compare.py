@@ -154,7 +154,7 @@ class MetricDelta:
         direction; an unbounded change always trips)."""
         return self.pct is None or abs(self.pct) > threshold_pct
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"metric": self.metric, "baseline": self.baseline,
                 "candidate": self.candidate, "delta": self.delta,
                 "pct": self.pct}
@@ -184,7 +184,7 @@ class VariantDelta:
         variants (e.g. an axis renamed between sweeps)."""
         return self.variant != self.baseline_variant
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "fleet": self.fleet,
             "variant": [list(p) for p in self.variant],
@@ -226,7 +226,7 @@ class FleetComparison:
         each ``(metric, pct)`` gate trips on any common variant whose
         metric moved more than ``pct`` percent in either direction.
         """
-        messages = []
+        messages: list[str] = []
         for fleet, key in self.removed:
             messages.append(f"{fleet}: baseline variant "
                             f"[{variant_label(key)}] has no counterpart")
@@ -252,7 +252,7 @@ class FleetComparison:
 
     # -- serialisation ----------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "baseline": self.baseline,
             "candidates": list(self.candidates),
@@ -305,10 +305,10 @@ class _IdentityIndex:
 
     def __init__(self, base_variants: dict[VariantKey,
                                            tuple[RunRecord, ...]],
-                 keys: Sequence[VariantKey]):
+                 keys: Sequence[VariantKey]) -> None:
         self._by_digest: dict[str, VariantKey] = {}
-        self._by_meta_unstamped: dict[tuple, VariantKey] = {}
-        self._by_meta: dict[tuple, VariantKey] = {}
+        self._by_meta_unstamped: dict[tuple[Any, ...], VariantKey] = {}
+        self._by_meta: dict[tuple[Any, ...], VariantKey] = {}
         for key in keys:
             for record in base_variants[key]:
                 if record.spec_key:
@@ -435,7 +435,7 @@ def compare_paths(paths: Sequence[Union[str, Path]], *,
     """
     if len(paths) < 2:
         raise ValueError("compare needs at least two directories")
-    sets = []
+    sets: list[tuple[str, RecordSet]] = []
     seen: dict[str, int] = {}
     for path in paths:
         loaded = RecordSet.from_path(path)

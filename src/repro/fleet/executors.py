@@ -27,9 +27,19 @@ this.  Execution metadata (wall time, cache provenance) rides on the
 from __future__ import annotations
 
 import time
+from concurrent.futures import Executor as _StdlibExecutor
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterator, Protocol, Sequence, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from ..core.evaluation import InfrastructureEvaluation
 from ..scenarios.spec import ScenarioSpec
@@ -49,7 +59,8 @@ __all__ = [
 
 
 def run_one(spec_json: str, seed: int, density: float = 6.0, *,
-            run_id: str = "", variant: tuple = ()) -> RunRecord:
+            run_id: str = "",
+            variant: Sequence[tuple[str, Any]] = ()) -> RunRecord:
     """Evaluate one scenario at one seed; return its summary record.
 
     Top-level and argument-pure so it pickles into worker processes:
@@ -92,7 +103,7 @@ class RunOutcome:
     cached: bool = False
 
 
-def execute_run(run_dict: dict) -> dict:
+def execute_run(run_dict: Mapping[str, Any]) -> dict[str, Any]:
     """Worker entry point: RunSpec dict in, timed outcome dict out."""
     run = RunSpec.from_dict(run_dict)
     started = time.perf_counter()
@@ -102,7 +113,7 @@ def execute_run(run_dict: dict) -> dict:
             "wall_s": time.perf_counter() - started}
 
 
-def _outcome(payload: dict) -> RunOutcome:
+def _outcome(payload: Mapping[str, Any]) -> RunOutcome:
     return RunOutcome(record=RunRecord.from_dict(payload["record"]),
                       wall_s=payload["wall_s"],
                       cached=bool(payload.get("cached", False)))
@@ -137,7 +148,7 @@ class SerialExecutor:
 
     name = "serial"
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1) -> None:
         self.jobs = 1  # serial by definition; ``jobs`` accepted for symmetry
 
     def submit(self, run: RunSpec) -> "Future[RunOutcome]":
@@ -158,7 +169,7 @@ class SerialExecutor:
     def __enter__(self) -> "SerialExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -171,16 +182,16 @@ class _PoolBackend:
 
     name = "pool"
 
-    def __init__(self, jobs: int = 2):
+    def __init__(self, jobs: int = 2) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
-        self._pool = None
+        self._pool: Optional[_StdlibExecutor] = None
 
-    def _make_pool(self, width: int):
+    def _make_pool(self, width: int) -> _StdlibExecutor:
         raise NotImplementedError
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> _StdlibExecutor:
         # Always sized to ``jobs``: both pool kinds start workers on
         # demand, so a small first sweep costs nothing extra and a big
         # later one still gets the full width.
@@ -192,7 +203,7 @@ class _PoolBackend:
         inner = self._ensure_pool().submit(execute_run, run.to_dict())
         outer: "Future[RunOutcome]" = Future()
 
-        def _transfer(done: Future) -> None:
+        def _transfer(done: "Future[dict[str, Any]]") -> None:
             # Everything — the run's own error, cancellation, a decode
             # failure — must land on the outer future, or callers of
             # ``result()`` would block forever.
@@ -217,10 +228,10 @@ class _PoolBackend:
             self._pool.shutdown(cancel_futures=cancel)
             self._pool = None
 
-    def __enter__(self):
+    def __enter__(self) -> "_PoolBackend":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -253,7 +264,7 @@ class ThreadedExecutor(_PoolBackend):
 
 
 #: Backend registry keyed by CLI name (``--backend serial|process|thread``).
-BACKENDS: dict[str, type] = {
+BACKENDS: dict[str, Callable[..., "Executor"]] = {
     SerialExecutor.name: SerialExecutor,
     ProcessPoolBackend.name: ProcessPoolBackend,
     ThreadedExecutor.name: ThreadedExecutor,

@@ -17,7 +17,7 @@ from .store import FleetResult
 __all__ = ["comparison_summary", "fleet_summary", "write_csv"]
 
 
-def _cell(value, *, identity: bool) -> object:
+def _cell(value: object, *, identity: bool) -> object:
     if isinstance(value, float):
         # Axis values print exactly (0.045 stays 0.045); measurements
         # round to presentation precision.
@@ -55,7 +55,7 @@ def comparison_summary(comparison: FleetComparison) -> str:
     """The per-variant delta table plus the grid-drift footer."""
     header = ["fleet", "variant", "metric", "baseline", "candidate",
               "delta", "delta %"]
-    rows = []
+    rows: list[list[object]] = []
     for delta in comparison.deltas:
         label = delta.label
         if delta.renamed:

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from .sweep import RunRecord, RunSpec, SweepSpec, record_matches_spec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from .runner import ProgressFn
+    from .runner import CacheLike, ExecutorLike, ProgressFn
 
 __all__ = ["FleetResult", "FleetStore", "SCHEMA_VERSION"]
 
@@ -100,12 +100,12 @@ class FleetResult:
                                tuple[RunRecord, ...]]:
         """Records grouped per variant (all seeds together), keyed by
         :meth:`~repro.fleet.sweep.RunRecord.variant_key`."""
-        groups: dict[tuple, list[RunRecord]] = {}
+        groups: dict[tuple[tuple[str, Any], ...], list[RunRecord]] = {}
         for record in self.records:
             groups.setdefault(record.variant_key(), []).append(record)
         return {key: tuple(records) for key, records in groups.items()}
 
-    def summary_rows(self) -> tuple[list[str], list[list]]:
+    def summary_rows(self) -> tuple[list[str], list[list[Any]]]:
         """``(header, rows)`` of the per-variant digest across seeds.
 
         Means are averaged across the variant's seeds; ``spread`` is
@@ -116,11 +116,11 @@ class FleetResult:
         header += [axis.label for axis in self.sweep.axes]
         header += ["seeds", "mobile mean (ms)", "seed spread (ms)",
                    "x wired", "exceedance (%)", "detour (km)"]
-        rows = []
+        rows: list[list[Any]] = []
         for key, records in self.variants().items():
             values = dict(key)
             means = [r.summary.gap.mobile_mean_s * 1e3 for r in records]
-            row = [values.get("scenario", records[0].scenario)]
+            row: list[Any] = [values.get("scenario", records[0].scenario)]
             row += [values.get(axis.label) for axis in self.sweep.axes]
             row += [
                 len(records),
@@ -149,8 +149,8 @@ class FleetResult:
             writer.writerow(header)
             for record in self.records:
                 gap = record.summary.gap
-                row = [record.run_id, record.scenario, record.seed,
-                       record.density]
+                row: list[Any] = [record.run_id, record.scenario,
+                                  record.seed, record.density]
                 row += [record.axis_value(axis.label)
                         for axis in self.sweep.axes]
                 row += [record.summary.sample_count,
@@ -168,14 +168,14 @@ class FleetResult:
 class FleetStore:
     """Reads and writes one fleet directory."""
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
 
     @property
     def manifest_path(self) -> Path:
         return self.directory / MANIFEST_NAME
 
-    def read_manifest(self) -> dict:
+    def read_manifest(self) -> dict[str, Any]:
         """The raw manifest dict, schema-checked."""
         if not self.manifest_path.exists():
             raise FileNotFoundError(
@@ -244,7 +244,7 @@ class FleetStore:
         paths: dict[str, str] = {}
         wall = list(result.run_wall_s) or [0.0] * len(result.records)
         flags = list(result.cached) or [False] * len(result.records)
-        entries = []
+        entries: list[dict[str, Any]] = []
         for record, wall_s, cached in zip(result.records, wall, flags):
             relative = f"{RUNS_DIR}/{record.run_id}.json"
             if rewrite_records:
@@ -279,9 +279,9 @@ class FleetStore:
         backend name and cache flags.
         """
         manifest = self.read_manifest()
-        records = []
-        run_wall_s = []
-        cached = []
+        records: list[RunRecord] = []
+        run_wall_s: list[float] = []
+        cached: list[bool] = []
         for entry in manifest["runs"]:
             text = (self.directory / entry["file"]).read_text()
             records.append(RunRecord.from_json(text))
@@ -313,7 +313,8 @@ class FleetStore:
             if run.run_id not in existing
             or not record_matches_spec(existing[run.run_id], run))
 
-    def resume(self, *, jobs: int = 1, executor=None, cache=None,
+    def resume(self, *, jobs: int = 1, executor: "ExecutorLike" = None,
+               cache: "CacheLike" = None,
                progress: "Optional[ProgressFn]" = None) -> FleetResult:
         """Complete a partially-written fleet directory.
 

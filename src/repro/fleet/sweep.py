@@ -67,7 +67,7 @@ class SweepAxis:
     values it takes."""
 
     path: str                  #: dotted path for ``with_overrides``
-    values: tuple              #: plain JSON values, one per variant
+    values: tuple[Any, ...]    #: plain JSON values, one per variant
     name: str = ""             #: display name; defaults to ``path``
 
     def __post_init__(self) -> None:
@@ -81,12 +81,12 @@ class SweepAxis:
     def label(self) -> str:
         return self.name or self.path
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"path": self.path, "values": list(self.values),
                 "name": self.name}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "SweepAxis":
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepAxis":
         return cls(**data)
 
 
@@ -162,7 +162,7 @@ class SweepSpec:
 
     def expand(self) -> tuple["RunSpec", ...]:
         """Flatten into concrete runs: every base x variant x seed."""
-        runs = []
+        runs: list[RunSpec] = []
         for base in self.bases:
             for index, combo in enumerate(self.combos()):
                 patched = base.with_overrides(
@@ -180,7 +180,7 @@ class SweepSpec:
 
     # -- serialisation ----------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "bases": [b.to_dict() for b in self.bases],
             "axes": [a.to_dict() for a in self.axes],
@@ -190,7 +190,7 @@ class SweepSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "SweepSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
         return cls(**data)
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -201,7 +201,7 @@ class SweepSpec:
         return cls.from_dict(json.loads(text))
 
 
-def _variant_pairs(variant: Sequence) -> tuple[tuple[str, Any], ...]:
+def _variant_pairs(variant: Sequence[Any]) -> tuple[tuple[str, Any], ...]:
     return tuple((str(k), v) for k, v in variant)
 
 
@@ -227,20 +227,20 @@ class RunSpec:
         """The run's content identity: :func:`run_key` over its inputs."""
         return run_key(self.scenario, self.seed, self.density)
 
-    def legacy_identity(self) -> tuple:
+    def legacy_identity(self) -> tuple[Any, ...]:
         """The metadata identity a digest-less (v2) record can be
         checked against; see :meth:`RunRecord.legacy_identity`."""
         return (self.scenario.name, self.seed, float(self.density),
                 self.variant)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"run_id": self.run_id,
                 "scenario": self.scenario.to_dict(),
                 "seed": self.seed, "density": self.density,
                 "variant": [list(p) for p in self.variant]}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "RunSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
         return cls(**data)
 
 
@@ -271,7 +271,7 @@ class RunRecord:
             object.__setattr__(self, "summary",
                                EvaluationSummary.from_dict(self.summary))
 
-    def legacy_identity(self) -> tuple:
+    def legacy_identity(self) -> tuple[Any, ...]:
         """The identity a digest-less (v2) record still carries:
         ``(scenario, seed, density, variant)``.  Weaker than
         ``spec_key`` — it cannot see base-spec edits that leave these
@@ -302,7 +302,7 @@ class RunRecord:
             return self.seed
         return default
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         data = {"run_id": self.run_id, "scenario": self.scenario,
                 "seed": self.seed, "density": self.density,
                 "variant": [list(p) for p in self.variant],
@@ -314,7 +314,7 @@ class RunRecord:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "RunRecord":
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
         return cls(**data)
 
     def to_json(self, *, indent: int = 2) -> str:

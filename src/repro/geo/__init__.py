@@ -1,5 +1,8 @@
 """Geographic substrate: coordinates, grid segmentation, population, mobility."""
 
+
+from __future__ import annotations
+
 from .coords import (
     EARTH_RADIUS_M,
     GeoPoint,

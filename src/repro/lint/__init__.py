@@ -1,0 +1,47 @@
+"""Static enforcement of the repository's determinism contracts.
+
+Everything this reproduction claims rests on bit-reproducibility:
+named RNG streams spawned from one root seed, libm-routed
+transcendentals in the vectorized kernel, frozen serializable specs,
+and plain-data payloads across the ``Executor`` boundary.  The golden
+digests catch violations *after the fact*; this package catches them at
+review time, as ``python -m repro lint`` and a CI gate.
+
+Public API:
+
+* :func:`check_source` / :func:`check_paths` — lint text or trees,
+* :class:`Finding` — one violation with a baseline-stable fingerprint,
+* :class:`LintConfig` / :func:`load_config` — policy from
+  ``[tool.repro-lint]`` in ``pyproject.toml``,
+* :class:`Baseline` / :func:`apply_baseline` — accepted findings,
+* :data:`RULES` / :func:`rule_catalog` — the shipped REP rules,
+* :func:`run_lint` — the CLI entry point.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineMatch, apply_baseline
+from .cli import run_lint
+from .config import LintConfig, load_config, path_selected
+from .engine import check_paths, check_source, iter_files
+from .findings import Finding, fingerprint_findings
+from .rules import RULES, Rule, active_rules, rule_catalog
+
+__all__ = [
+    "Baseline",
+    "BaselineMatch",
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "active_rules",
+    "apply_baseline",
+    "check_paths",
+    "check_source",
+    "fingerprint_findings",
+    "iter_files",
+    "load_config",
+    "path_selected",
+    "rule_catalog",
+    "run_lint",
+]

@@ -1,0 +1,143 @@
+"""Committed baseline of *accepted* findings.
+
+Some findings are the documented design: ``haversine_matrix`` is
+allowed SIMD transcendentals because it is explicitly the
+non-bit-identical fast variant, and several fleet aggregations iterate
+dicts in first-seen order as their contract.  Those live in
+``lint-baseline.json`` — reviewed once, committed, and matched by
+content fingerprint so they keep suppressing exactly that code and
+nothing else.  New findings always fail the lint run; deleting the
+flagged code makes its baseline entry *stale*, which the report calls
+out so the file shrinks over time instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineMatch", "apply_baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: identity plus human-facing context."""
+
+    rule: str
+    path: str
+    fingerprint: str
+    line: int = 0            #: informational; not used for matching
+    code_line: str = ""      #: informational copy of the flagged text
+    reason: str = ""         #: reviewer's note on why this is accepted
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.fingerprint)
+
+    def to_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
+            "rule": self.rule, "path": self.path,
+            "fingerprint": self.fingerprint, "line": self.line,
+            "code_line": self.code_line,
+        }
+        if self.reason:
+            data["reason"] = self.reason
+        return data
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The committed accepted-findings set."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.is_file():
+            return cls()
+        data = json.loads(file_path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in "
+                f"{file_path} (expected {_VERSION})")
+        entries = tuple(
+            BaselineEntry(
+                rule=str(item["rule"]), path=str(item["path"]),
+                fingerprint=str(item["fingerprint"]),
+                line=int(item.get("line", 0)),
+                code_line=str(item.get("code_line", "")),
+                reason=str(item.get("reason", "")))
+            for item in data.get("findings", []))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(entries=tuple(
+            BaselineEntry(rule=f.rule, path=f.path,
+                          fingerprint=f.fingerprint, line=f.line,
+                          code_line=f.code_line)
+            for f in findings))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the baseline deterministically (sorted, stable JSON)."""
+        file_path = Path(path)
+        ordered = sorted(self.entries,
+                         key=lambda e: (e.path, e.line, e.rule,
+                                        e.fingerprint))
+        payload = {
+            "version": _VERSION,
+            "comment": ("Accepted determinism-lint findings; matched "
+                        "by content fingerprint. Regenerate with "
+                        "'python -m repro lint --write-baseline'."),
+            "findings": [entry.to_dict() for entry in ordered],
+        }
+        file_path.write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")
+        return file_path
+
+
+@dataclass(frozen=True)
+class BaselineMatch:
+    """The three-way split of a lint run against a baseline."""
+
+    new: tuple[Finding, ...]           #: violations — fail the run
+    accepted: tuple[Finding, ...]      #: matched baseline entries
+    stale: tuple[BaselineEntry, ...]   #: entries matching nothing
+
+
+def apply_baseline(findings: list[Finding], baseline: Baseline, *,
+                   checked_paths: Iterable[str] | None = None
+                   ) -> BaselineMatch:
+    """Split findings into new vs accepted, and spot stale entries.
+
+    An entry is *stale* only when the file it points at was actually
+    checked this run (or ``checked_paths`` is ``None``, meaning the
+    full configured tree ran) yet nothing matched — linting one file
+    must not declare the rest of the baseline dead.
+    """
+    entry_keys = {entry.key() for entry in baseline.entries}
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    matched: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        key = finding.key()
+        if key in entry_keys:
+            accepted.append(finding)
+            matched.add(key)
+        else:
+            new.append(finding)
+    checked = None if checked_paths is None else set(checked_paths)
+    stale = tuple(
+        entry for entry in baseline.entries
+        if entry.key() not in matched
+        and (checked is None or entry.path in checked))
+    return BaselineMatch(new=tuple(new), accepted=tuple(accepted),
+                         stale=stale)

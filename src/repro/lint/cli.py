@@ -1,0 +1,107 @@
+"""``python -m repro lint`` — the determinism-contract gate.
+
+Exit codes: 0 when the tree is clean against the committed baseline,
+1 when any new REP finding exists, 2 for configuration/usage errors.
+``--format json`` emits a machine-readable report for CI annotation;
+``--write-baseline`` accepts the current findings as the new baseline
+(use sparingly — every entry is a reviewed exception, not a snooze
+button).
+"""
+
+from __future__ import annotations
+
+import json
+import os.path
+import sys
+from pathlib import Path, PurePath
+from typing import Sequence, TextIO
+
+from .baseline import Baseline, BaselineMatch, apply_baseline
+from .config import load_config
+from .engine import check_paths, iter_files
+from .findings import Finding
+from .rules import rule_catalog
+
+__all__ = ["run_lint"]
+
+
+def _render_text(match: BaselineMatch, checked_paths: Sequence[str],
+                 out: TextIO) -> None:
+    for finding in match.new:
+        print(finding.render(), file=out)
+        if finding.code_line:
+            print(f"    {finding.code_line}", file=out)
+    summary = (f"{len(match.new)} violation(s), "
+               f"{len(match.accepted)} baseline-accepted, "
+               f"{len(match.stale)} stale baseline entr"
+               f"{'y' if len(match.stale) == 1 else 'ies'} "
+               f"({', '.join(checked_paths)})")
+    print(summary, file=out)
+    for entry in match.stale:
+        print(f"  stale: {entry.path} {entry.rule} "
+              f"{entry.fingerprint} — flagged code no longer present; "
+              f"drop it from the baseline", file=out)
+    if not match.new:
+        print("determinism contracts hold.", file=out)
+
+
+def _render_json(match: BaselineMatch, checked_paths: Sequence[str],
+                 out: TextIO) -> None:
+    payload = {
+        "paths": list(checked_paths),
+        "clean": not match.new,
+        "violations": [f.to_dict() for f in match.new],
+        "accepted": [f.to_dict() for f in match.accepted],
+        "stale_baseline": [e.to_dict() for e in match.stale],
+        "rules": [{"code": code, "title": title}
+                  for code, title in rule_catalog()],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+
+
+def run_lint(paths: Sequence[str] = (), *, root: str = ".",
+             output_format: str = "text", write_baseline: bool = False,
+             no_baseline: bool = False, list_rules: bool = False,
+             out: TextIO | None = None,
+             err: TextIO | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    if list_rules:
+        for code, title in rule_catalog():
+            print(f"{code}  {title}", file=out)
+        return 0
+    if output_format not in ("text", "json"):
+        print(f"error: unknown lint format {output_format!r} "
+              f"(text|json)", file=err)
+        return 2
+    try:
+        config = load_config(root)
+        findings: list[Finding] = check_paths(
+            tuple(paths) or None, root=root, config=config)
+    except (FileNotFoundError, KeyError, TypeError, ValueError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"error: {message}", file=err)
+        return 2
+
+    baseline_path = Path(root) / config.baseline
+    if write_baseline:
+        saved = Baseline.from_findings(findings).save(baseline_path)
+        print(f"baseline with {len(findings)} accepted finding(s) "
+              f"written to {saved}", file=out)
+        return 0
+
+    baseline = Baseline() if no_baseline else \
+        Baseline.load(baseline_path)
+    checked = tuple(paths) or config.paths
+    base = Path(root)
+    checked_files = tuple(
+        PurePath(os.path.relpath(f, base)).as_posix()
+        for f in iter_files(checked, root=base))
+    match = apply_baseline(findings, baseline,
+                           checked_paths=checked_files)
+    if output_format == "json":
+        _render_json(match, checked, out)
+    else:
+        _render_text(match, checked, out)
+    return 1 if match.new else 0

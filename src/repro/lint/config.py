@@ -1,0 +1,147 @@
+"""Linter configuration: mechanism in code, policy in ``pyproject.toml``.
+
+The rules in :mod:`repro.lint.rules` are generic mechanisms; *which*
+modules sit on the bit-identity or serialization paths is repository
+policy and therefore lives in ``[tool.repro-lint]`` of
+``pyproject.toml``, not in code.  :func:`load_config` reads that table
+(via :mod:`tomllib`; Python >= 3.11) and overlays it on the built-in
+defaults, which keep every path-scoped rule dormant — an unconfigured
+tree only gets the globally-safe rules (REP001/REP002/REP005/REP006
+heuristics).
+
+Path scoping convention: an entry ending in ``/`` selects every module
+under that directory; any other entry selects exactly that file.  All
+paths are repo-relative posix paths (``src/repro/geo/coords.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback, CI-tested
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["LintConfig", "load_config", "path_selected"]
+
+#: pyproject table the configuration is read from.
+PYPROJECT_TABLE = "repro-lint"
+
+
+def path_selected(rel_path: str, patterns: tuple[str, ...]) -> bool:
+    """Whether ``rel_path`` matches any scoping pattern.
+
+    ``"pkg/sub/"`` matches every file under the directory;
+    ``"pkg/mod.py"`` matches only that module.
+    """
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if rel_path.startswith(pattern):
+                return True
+        elif rel_path == pattern:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Every knob of the determinism linter, with dormant defaults."""
+
+    #: directories/files checked when the CLI gets no explicit paths
+    paths: tuple[str, ...] = ("src/repro/",)
+    #: committed accepted-findings file, repo-relative
+    baseline: str = "lint-baseline.json"
+    #: rule codes disabled outright
+    disabled_rules: tuple[str, ...] = ()
+
+    #: REP002 — modules where wall-clock/entropy reads are acceptable
+    #: (CLI, fleet timing fields, benchmarks live outside ``paths``)
+    rep002_exempt: tuple[str, ...] = ()
+    #: REP003 — modules on the stream/serialization path where
+    #: unordered set/dict iteration must go through ``sorted(...)``
+    rep003_paths: tuple[str, ...] = ()
+    #: REP004 — bit-identity-critical modules where array-form NumPy
+    #: transcendentals must route through the libm helpers
+    rep004_paths: tuple[str, ...] = ()
+    #: REP004 — the NumPy functions whose float64 array form may take a
+    #: SIMD path that differs from libm in the last ulp
+    rep004_functions: tuple[str, ...] = (
+        "sin", "cos", "tan", "arcsin", "arccos", "arctan", "arctan2",
+        "sinh", "cosh", "tanh", "arcsinh", "arccosh", "arctanh",
+        "exp", "exp2", "expm1", "log", "log2", "log10", "log1p",
+        "power", "float_power", "square", "cbrt",
+    )
+    #: REP005 — methods allowed to mutate frozen dataclasses
+    rep005_allowed_methods: tuple[str, ...] = ("__post_init__",)
+    #: REP006 — modules whose payload functions are return-checked
+    rep006_paths: tuple[str, ...] = ()
+    #: REP006 — worker entry points that must return plain data
+    rep006_payload_functions: tuple[str, ...] = ()
+    #: REP006 — constructors too heavy/unpicklable to cross the
+    #: Executor boundary
+    rep006_heavy_types: tuple[str, ...] = ()
+
+    def rule_enabled(self, code: str) -> bool:
+        return code not in self.disabled_rules
+
+
+def _coerce(value: Any, name: str) -> Any:
+    """Validate one pyproject entry against the dataclass field kinds."""
+    if isinstance(value, str):
+        if name in ("baseline",):
+            return value
+        raise TypeError(
+            f"[tool.{PYPROJECT_TABLE}] {name} must be a list of "
+            f"strings, got a bare string {value!r}")
+    if isinstance(value, (list, tuple)):
+        items = tuple(value)
+        for item in items:
+            if not isinstance(item, str):
+                raise TypeError(
+                    f"[tool.{PYPROJECT_TABLE}] {name} entries must be "
+                    f"strings, got {item!r}")
+        return items
+    raise TypeError(
+        f"[tool.{PYPROJECT_TABLE}] {name} has unsupported value "
+        f"{value!r}")
+
+
+def config_from_mapping(data: Mapping[str, Any]) -> LintConfig:
+    """Build a config from a ``[tool.repro-lint]``-shaped mapping.
+
+    Unknown keys raise — a typo in pyproject must not silently disable
+    a contract.  TOML dashes are accepted for field-name underscores.
+    """
+    known = {f.name for f in fields(LintConfig)}
+    updates: dict[str, Any] = {}
+    for raw_key, value in data.items():
+        key = raw_key.replace("-", "_")
+        if key not in known:
+            raise KeyError(
+                f"unknown [tool.{PYPROJECT_TABLE}] key {raw_key!r}; "
+                f"known: {', '.join(sorted(known))}")
+        updates[key] = _coerce(value, key)
+    return replace(LintConfig(), **updates)
+
+
+def load_config(root: str | Path = ".") -> LintConfig:
+    """The repository's lint configuration.
+
+    Reads ``<root>/pyproject.toml`` ``[tool.repro-lint]`` when present;
+    otherwise (no file, no table, or a Python without :mod:`tomllib`)
+    returns the dormant defaults.
+    """
+    pyproject = Path(root) / "pyproject.toml"
+    if tomllib is None or not pyproject.is_file():
+        return LintConfig()
+    with pyproject.open("rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get(PYPROJECT_TABLE)
+    if table is None:
+        return LintConfig()
+    if not isinstance(table, Mapping):
+        raise TypeError(f"[tool.{PYPROJECT_TABLE}] must be a table")
+    return config_from_mapping(table)

@@ -1,0 +1,220 @@
+"""The shared AST walk every REP rule plugs into.
+
+One parse, one traversal per module: the engine resolves import
+aliases (so a rule can ask "does this call bottom out in
+``numpy.random.default_rng``?" regardless of ``import numpy as np`` vs
+``from numpy.random import default_rng``), tracks the enclosing
+function stack and locally-defined function names, and dispatches every
+node to each active rule.  Rules stay tiny predicate objects; all
+context bookkeeping lives here.
+
+Public entry points: :func:`check_source` for one module's text,
+:func:`check_paths` for trees of files (deterministic, sorted order).
+"""
+
+from __future__ import annotations
+
+import ast
+import os.path
+from pathlib import Path, PurePath
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .config import LintConfig
+from .findings import Finding, fingerprint_findings
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .rules import Rule
+
+__all__ = ["ModuleContext", "check_paths", "check_source", "iter_files"]
+
+
+class ModuleContext:
+    """Everything a rule may ask about the module being walked."""
+
+    def __init__(self, rel_path: str, source: str,
+                 config: LintConfig) -> None:
+        self.rel_path = rel_path
+        self.config = config
+        self.lines = source.splitlines()
+        #: local name -> dotted origin ("np" -> "numpy",
+        #: "default_rng" -> "numpy.random.default_rng")
+        self.imports: dict[str, str] = {}
+        #: enclosing function names, innermost last
+        self.function_stack: list[str] = []
+        #: per enclosing function: names of functions defined *inside*
+        #: it (those never pickle across an Executor boundary)
+        self.local_function_names: list[set[str]] = []
+        self.findings: list[Finding] = []
+
+    # -- queries ----------------------------------------------------------
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of a name/attribute chain, or ``None``.
+
+        ``np.random.default_rng`` resolves to
+        ``"numpy.random.default_rng"`` under ``import numpy as np``;
+        unknown roots stay unresolved rather than guessed.
+        """
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    @property
+    def current_function(self) -> str | None:
+        """Name of the innermost enclosing function, if any."""
+        return self.function_stack[-1] if self.function_stack else None
+
+    def in_locally_defined(self, name: str) -> bool:
+        """Whether ``name`` is a function defined inside an enclosing
+        function (hence unpicklable by reference)."""
+        return any(name in local for local in self.local_function_names)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    # -- reporting --------------------------------------------------------
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(Finding(
+            rule=rule, path=self.rel_path, line=lineno, col=col,
+            message=message, code_line=self.source_line(lineno)))
+
+
+def _record_import(ctx: ModuleContext, node: ast.AST) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            local = alias.asname or alias.name.partition(".")[0]
+            origin = alias.name if alias.asname else \
+                alias.name.partition(".")[0]
+            ctx.imports[local] = origin
+    elif isinstance(node, ast.ImportFrom):
+        if node.level or node.module is None:
+            return  # relative imports never reach numpy/stdlib roots
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            ctx.imports[local] = f"{node.module}.{alias.name}"
+
+
+class _Walker:
+    """Single recursive traversal dispatching to every rule."""
+
+    def __init__(self, ctx: ModuleContext, rules: list["Rule"]) -> None:
+        self.ctx = ctx
+        self.rules = rules
+
+    def walk(self, tree: ast.Module) -> None:
+        # Imports are collected up front so a use that precedes a
+        # function-local import in source order still resolves.
+        for node in ast.walk(tree):
+            _record_import(self.ctx, node)
+        for child in tree.body:
+            self._visit(child)
+
+    def _visit(self, node: ast.AST) -> None:
+        for rule in self.rules:
+            if isinstance(node, rule.interests):
+                rule.visit(node, self.ctx)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._visit_function(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_function(
+            self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        ctx = self.ctx
+        ctx.function_stack.append(node.name)
+        ctx.local_function_names.append({
+            child.name for child in ast.walk(node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child is not node})
+        try:
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+        finally:
+            ctx.function_stack.pop()
+            ctx.local_function_names.pop()
+
+
+def check_source(source: str, *, path: str = "<string>",
+                 config: LintConfig | None = None) -> list[Finding]:
+    """Lint one module's source text; returns fingerprinted findings.
+
+    ``path`` should be the repo-relative posix path — it drives the
+    per-path rule scoping and baseline identity.  A syntax error is
+    itself reported as a ``REP000`` finding: an unparseable module on
+    the determinism path is never "clean".
+    """
+    from .rules import active_rules
+
+    cfg = config if config is not None else LintConfig()
+    ctx = ModuleContext(path, source, cfg)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        node = ast.Module(body=[], type_ignores=[])
+        node.lineno = exc.lineno or 1  # type: ignore[attr-defined]
+        node.col_offset = (exc.offset or 1) - 1  # type: ignore[attr-defined]
+        ctx.report("REP000", node, f"module does not parse: {exc.msg}")
+        return fingerprint_findings(ctx.findings)
+    _Walker(ctx, active_rules(cfg, path)).walk(tree)
+    return fingerprint_findings(ctx.findings)
+
+
+def iter_files(paths: Iterable[str | Path],
+               root: str | Path = ".") -> Iterator[Path]:
+    """Python files under ``paths``, deterministically sorted.
+
+    Directory entries expand recursively; missing paths raise — a
+    silently-skipped tree would report itself clean.
+    """
+    base = Path(root)
+    seen: set[Path] = set()
+    for raw in paths:
+        target = Path(raw)
+        if not target.is_absolute():
+            target = base / target
+        if target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+        elif target.is_file():
+            candidates = [target]
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def check_paths(paths: Iterable[str | Path] | None = None, *,
+                root: str | Path = ".",
+                config: LintConfig | None = None) -> list[Finding]:
+    """Lint files/directories against ``config``.
+
+    ``paths`` defaults to the configured check paths.  Returned
+    findings are sorted (path, line, col) with stable fingerprints,
+    ready for baseline matching.
+    """
+    cfg = config if config is not None else LintConfig()
+    chosen = tuple(paths) if paths else cfg.paths
+    findings: list[Finding] = []
+    base = Path(root)
+    for file_path in iter_files(chosen, root=base):
+        rel_posix = PurePath(
+            os.path.relpath(file_path, base)).as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(check_source(source, path=rel_posix,
+                                     config=cfg))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col,
+                                           f.rule))

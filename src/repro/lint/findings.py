@@ -1,0 +1,86 @@
+"""Lint findings: the value a rule emits and its stable fingerprint.
+
+A :class:`Finding` pinpoints one determinism-contract violation.  Its
+``fingerprint`` deliberately hashes the *source text* of the offending
+line (plus an occurrence index for duplicated lines), not the line
+number — so a committed baseline keeps matching accepted findings while
+unrelated edits shift the file around them, and goes stale exactly when
+the flagged code itself changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "fingerprint_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism-contract violation at a source location."""
+
+    rule: str            #: rule code, e.g. ``"REP004"``
+    path: str            #: repo-relative posix path of the module
+    line: int            #: 1-based source line
+    col: int             #: 0-based column offset
+    message: str         #: human-readable explanation
+    code_line: str = ""  #: stripped source text of ``line``
+    #: stable identity for baseline matching; assigned by
+    #: :func:`fingerprint_findings` after a file's findings are complete
+    fingerprint: str = field(default="", compare=False)
+
+    def key(self) -> tuple[str, str, str]:
+        """The identity the baseline matches on."""
+        return (self.rule, self.path, self.fingerprint)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "code_line": self.code_line,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """The one-line text-report form."""
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} {self.message}")
+
+
+def _digest(rule: str, path: str, code_line: str, occurrence: int) -> str:
+    payload = "\x1f".join((rule, path, code_line, str(occurrence)))
+    return hashlib.blake2b(payload.encode("utf-8"),
+                           digest_size=8).hexdigest()
+
+
+def fingerprint_findings(findings: list[Finding]) -> list[Finding]:
+    """Return ``findings`` with stable fingerprints assigned.
+
+    Findings sharing ``(rule, path, code text)`` — e.g. two identical
+    offending lines in one file — are disambiguated by their occurrence
+    index in ``(line, col)`` order, so each keeps a distinct, stable
+    identity.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col,
+                                              f.rule))
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[Finding] = []
+    for finding in ordered:
+        bucket = (finding.rule, finding.path, finding.code_line)
+        occurrence = seen.get(bucket, 0)
+        seen[bucket] = occurrence + 1
+        out.append(Finding(
+            rule=finding.rule,
+            path=finding.path,
+            line=finding.line,
+            col=finding.col,
+            message=finding.message,
+            code_line=finding.code_line,
+            fingerprint=_digest(finding.rule, finding.path,
+                                finding.code_line, occurrence),
+        ))
+    return out

@@ -1,5 +1,8 @@
 """Internet substrate: addressing, topology, policy routing, tracing."""
 
+
+from __future__ import annotations
+
 from .address import IPv4Address, IPv4Prefix, PrefixAllocator, ptr_name
 from .asn import ASGraph, ASKind, AutonomousSystem
 from .dessim import Packet, PacketNetwork

@@ -1,5 +1,8 @@
 """Measurement framework: probes, pings, drive-test campaign, statistics."""
 
+
+from __future__ import annotations
+
 from .analysis import Cdf, DatasetAnalysis
 from .atlas import Probe, ProbeKind, ProbeRegistry
 from .campaign import CampaignConfig, DriveTestCampaign

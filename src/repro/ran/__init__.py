@@ -1,5 +1,8 @@
 """Radio access network: spectrum, PHY/MAC latency, channel, sites, O-RAN."""
 
+
+from __future__ import annotations
+
 from .access import AccessProcedure
 from .beam import BeamConfig, BeamManager
 from .channel import ChannelModel

@@ -19,6 +19,9 @@ or from your own spec factory (register it to make
 ``python -m repro evaluate --scenario yours`` work).
 """
 
+
+from __future__ import annotations
+
 from .build import BuiltScenario, build
 from .klagenfurt import klagenfurt
 from .registry import get, load_spec, names, register

@@ -55,7 +55,7 @@ __all__ = ["BuiltScenario", "build"]
 class BuiltScenario:
     """A compiled scenario: the world every study layer runs against."""
 
-    def __init__(self, spec: ScenarioSpec, seed: int = 42):
+    def __init__(self, spec: ScenarioSpec, seed: int = 42) -> None:
         self.spec = spec
         self.seed = seed
         self.rng = RngRegistry(seed)

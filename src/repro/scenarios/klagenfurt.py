@@ -164,7 +164,9 @@ def klagenfurt(*, radio_config: Optional[RadioConfig] = None,
     kla_edge = GeoPoint(46.626, 14.306)   # edge breakout site
     kla_core = GeoPoint(46.628, 14.310)
 
-    def node(name, kind, loc, asn, addr="", display="", forwarding=-1.0):
+    def node(name: str, kind: str, loc: GeoPoint, asn: int,
+             addr: str = "", display: str = "",
+             forwarding: float = -1.0) -> NodeSpec:
         return NodeSpec(name=name, kind=kind, lat=loc.lat, lon=loc.lon,
                         asn=asn, address=addr, display=display,
                         forwarding_delay_s=forwarding)

@@ -30,6 +30,7 @@ import json
 from dataclasses import dataclass, fields, is_dataclass, replace
 from typing import (
     Any,
+    Iterable,
     Mapping,
     Optional,
     Sequence,
@@ -60,14 +61,26 @@ __all__ = [
 ]
 
 
-def _pairs(mapping: Mapping | Sequence) -> tuple[tuple, ...]:
-    """Normalise a mapping (or pair sequence) to an ordered pair tuple."""
-    items = mapping.items() if isinstance(mapping, Mapping) else mapping
+def _pairs(mapping: Mapping[Any, Any] | Sequence[Any]
+           ) -> tuple[tuple[Any, Any], ...]:
+    """Normalise a mapping (or pair sequence) to an ordered pair tuple.
+
+    Mapping inputs are canonicalised by sorted key (REP003): a dict's
+    pair order is its insertion history, so two structurally equal
+    dicts built in different orders would otherwise serialize — and
+    content-hash — differently.  Explicit pair *sequences* keep their
+    caller-chosen order; they already are ordered values.
+    """
+    if isinstance(mapping, Mapping):
+        items: Iterable[Any] = sorted(
+            mapping.items(), key=lambda pair: str(pair[0]))
+    else:
+        items = mapping
     return tuple((k, tuple(v) if isinstance(v, (list, tuple)) else v)
                  for k, v in items)
 
 
-def _int_pairs(seq: Sequence) -> tuple[tuple[int, int], ...]:
+def _int_pairs(seq: Sequence[Any]) -> tuple[tuple[int, int], ...]:
     return tuple((int(a), int(b)) for a, b in seq)
 
 
@@ -163,14 +176,14 @@ class GridSpec:
                     cell_size_m=self.cell_size_m,
                     cols=self.cols, rows=self.rows)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"origin_lat": self.origin_lat,
                 "origin_lon": self.origin_lon,
                 "cell_size_m": self.cell_size_m,
                 "cols": self.cols, "rows": self.rows}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "GridSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "GridSpec":
         return cls(**data)
 
 
@@ -190,7 +203,7 @@ class PopulationSpec:
     def centre(self) -> GeoPoint:
         return GeoPoint(self.centre_lat, self.centre_lon)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"centre_lat": self.centre_lat,
                 "centre_lon": self.centre_lon,
                 "core_density": self.core_density,
@@ -198,7 +211,7 @@ class PopulationSpec:
                 "density_threshold": self.density_threshold}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "PopulationSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "PopulationSpec":
         return cls(**data)
 
 
@@ -214,11 +227,11 @@ class SiteSpec:
     def gnb_name(self) -> str:
         return self.name or f"gnb-{self.cell.lower()}"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"cell": self.cell, "load": self.load, "name": self.name}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "SiteSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "SiteSpec":
         return cls(**data)
 
 
@@ -260,7 +273,8 @@ class RadioSpec:
 
     @classmethod
     def from_config(cls, config: RadioConfig,
-                    sites: Sequence[SiteSpec], **channel) -> "RadioSpec":
+                    sites: Sequence[SiteSpec],
+                    **channel: float) -> "RadioSpec":
         """Capture an existing :class:`RadioConfig` object losslessly."""
         return cls(
             sites=tuple(sites),
@@ -301,14 +315,14 @@ class RadioSpec:
             shadowing_sigma_db=self.shadowing_sigma_db,
             seed=seed)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         data = {f.name: getattr(self, f.name) for f in fields(self)
                 if f.name != "sites"}
         data["sites"] = [s.to_dict() for s in self.sites]
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "RadioSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "RadioSpec":
         data = dict(data)
         data["sites"] = tuple(SiteSpec.from_dict(s)
                               for s in data.get("sites", ()))
@@ -324,12 +338,12 @@ class ASSpec:
     kind: str = "transit"       #: an :class:`~repro.net.asn.ASKind` value
     ptr_template: str = ""
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"asn": self.asn, "name": self.name, "kind": self.kind,
                 "ptr_template": self.ptr_template}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "ASSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ASSpec":
         return cls(**data)
 
 
@@ -350,14 +364,14 @@ class NodeSpec:
     def location(self) -> GeoPoint:
         return GeoPoint(self.lat, self.lon)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"name": self.name, "kind": self.kind,
                 "lat": self.lat, "lon": self.lon, "asn": self.asn,
                 "address": self.address, "display": self.display,
                 "forwarding_delay_s": self.forwarding_delay_s}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "NodeSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "NodeSpec":
         return cls(**data)
 
 
@@ -372,13 +386,13 @@ class LinkSpec:
     length_m: Optional[float] = None   #: None -> great circle x circuity
     utilisation: float = 0.0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"a": self.a, "b": self.b, "rate_bps": self.rate_bps,
                 "kind": self.kind, "length_m": self.length_m,
                 "utilisation": self.utilisation}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "LinkSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "LinkSpec":
         return cls(**data)
 
 
@@ -397,7 +411,7 @@ class GatewaySpec:
     throughput_bps: float = 40e9
     load: float = 0.0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"name": self.name, "node_name": self.node_name,
                 "upf_name": self.upf_name, "lat": self.lat,
                 "lon": self.lon, "tier": self.tier,
@@ -406,7 +420,7 @@ class GatewaySpec:
                 "throughput_bps": self.throughput_bps, "load": self.load}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "GatewaySpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "GatewaySpec":
         return cls(**data)
 
 
@@ -419,12 +433,12 @@ class PeerSpec:
     sinr_db: float = 12.0
     gateway: Optional[str] = None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"name": self.name, "air_load": self.air_load,
                 "sinr_db": self.sinr_db, "gateway": self.gateway}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "PeerSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "PeerSpec":
         return cls(**data)
 
 
@@ -443,13 +457,13 @@ class ProbeSpec:
     def location(self) -> GeoPoint:
         return GeoPoint(self.lat, self.lon)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"probe_id": self.probe_id, "name": self.name,
                 "node_name": self.node_name, "lat": self.lat,
                 "lon": self.lon, "kind": self.kind}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "ProbeSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProbeSpec":
         return cls(**data)
 
 
@@ -512,7 +526,7 @@ class CampaignSpec:
             raise ValueError(
                 f"default gateway {self.default_gateway!r} not in spec")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "default_gateway": self.default_gateway,
             "gateways": [g.to_dict() for g in self.gateways],
@@ -533,7 +547,7 @@ class CampaignSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
         data = dict(data)
         if data.get("extra_load_range") is not None:
             data["extra_load_range"] = tuple(data["extra_load_range"])
@@ -600,7 +614,7 @@ class ScenarioSpec:
 
     # -- serialisation ----------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "description": self.description,
@@ -623,7 +637,7 @@ class ScenarioSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
         return cls(**data)
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -657,7 +671,12 @@ class ScenarioSpec:
         (``__post_init__``) reruns on the result.
         """
         spec = self
-        for path, value in overrides.items():
+        # Sorted application order (REP003): override dicts carry no
+        # meaningful order, so applying them alphabetically keeps the
+        # patched spec independent of the caller's insertion history
+        # (distinct dotted paths commute; overlapping ones now resolve
+        # deterministically instead of by construction order).
+        for path, value in sorted(overrides.items()):
             parts = path.split(".")
             if not path or any(not p for p in parts):
                 raise KeyError(f"malformed override path {path!r}")

@@ -8,6 +8,9 @@ Public surface:
 * :mod:`~repro.sim.monitor` measurement collectors.
 """
 
+
+from __future__ import annotations
+
 from .engine import (
     AllOf,
     AnyOf,

@@ -47,11 +47,11 @@ class RngRegistry:
     producing the same sequence, independent of creation order.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         if not isinstance(seed, int):
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
         self.seed = seed
-        self._streams: Dict[tuple, np.random.Generator] = {}
+        self._streams: Dict[tuple[str, ...], np.random.Generator] = {}
 
     def stream(self, *name_parts: object) -> np.random.Generator:
         """Return the (cached) generator for the given hierarchical name."""
@@ -78,7 +78,7 @@ class RngRegistry:
         """Derive a child registry with an independent seed namespace."""
         return RngRegistry(stable_seed(self.seed, "spawn", *name_parts))
 
-    def __iter__(self) -> Iterator[tuple]:
+    def __iter__(self) -> Iterator[tuple[str, ...]]:
         return iter(sorted(self._streams))
 
     def __len__(self) -> int:
