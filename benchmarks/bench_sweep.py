@@ -1,0 +1,165 @@
+"""Batched-sweep benchmark — machine-readable perf tracking.
+
+Times a 100-run campaign-only sweep (sampling-layer axes only, so
+every run shares one ``build_key``) through the serial backend (one
+full build + evaluation per run) and the batched two-phase backend
+(one shared build, per-run sampling with block sharing), then writes
+``BENCH_sweep.json`` at the repo root so the sweep-throughput
+trajectory is tracked in-repo.  CI's ``bench-smoke`` job re-runs this
+and fails when batched sweep throughput regresses past 2x the
+committed baseline.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+    PYTHONPATH=src python benchmarks/bench_sweep.py --check BENCH_sweep.json
+
+or via pytest (prints, writes nothing)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_sweep.json"
+
+SCENARIO = "klagenfurt"
+SEED = 42
+DENSITY = 2.0
+#: CI fails when batched runs/s falls below baseline by this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def _sweep(batch_size: int):
+    from repro.fleet import SweepAxis, SweepSpec
+    from repro.scenarios import get
+
+    # Sampling-layer axes only — every run shares one build key: a
+    # single-cell congestion anchor x the handover interruption window.
+    anchors = tuple(0.1 + 0.02 * i for i in range(10))
+    interruptions = tuple(30e-3 + 5e-3 * i
+                          for i in range(batch_size // 10))
+    return SweepSpec(
+        bases=(get(SCENARIO),),
+        axes=(SweepAxis("campaign.extra_load_anchors.0.1", anchors),
+              SweepAxis("campaign.handover_interruption_s",
+                        interruptions)),
+        seeds=(SEED,),
+        density=DENSITY,
+    )
+
+
+def measure(batch_size: int = 100) -> dict:
+    from repro.fleet import run_sweep
+
+    sweep = _sweep(batch_size)
+    runs = sweep.run_count
+
+    started = time.perf_counter()
+    serial = run_sweep(sweep, executor="serial")
+    serial_wall_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = run_sweep(sweep, executor="batch")
+    batch_wall_s = time.perf_counter() - started
+
+    if [r.to_dict() for r in batch.records] \
+            != [r.to_dict() for r in serial.records]:
+        raise AssertionError("batch records diverged from serial")
+
+    return {
+        "schema": 1,
+        "scenario": SCENARIO,
+        "seed": SEED,
+        "density": DENSITY,
+        "batch_size": runs,
+        "builds_performed": batch.exec_stats["builds_performed"],
+        "builds_reused": batch.exec_stats["builds_reused"],
+        "batch_sweep": {
+            "wall_s": round(batch_wall_s, 6),
+            "runs_per_sec": round(runs / batch_wall_s, 1),
+        },
+        "serial_reference": {
+            "wall_s": round(serial_wall_s, 6),
+            "runs_per_sec": round(runs / serial_wall_s, 1),
+        },
+        "batch_speedup": round(serial_wall_s / batch_wall_s, 2),
+    }
+
+
+def check_regression(results: dict, baseline_path: Path) -> list[str]:
+    """Gate failures of ``results`` against a committed baseline.
+
+    The baseline was recorded on a different machine, so raw seconds
+    don't compare.  The serial reference sweep runs in the same process
+    on the same inputs, so its ratio to the baseline's serial time is a
+    clean estimate of machine speed — the gate scales the committed
+    batched throughput by it before applying the regression factor.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    machine_scale = (baseline["serial_reference"]["wall_s"]
+                     / results["serial_reference"]["wall_s"])
+    scaled_baseline = \
+        baseline["batch_sweep"]["runs_per_sec"] * machine_scale
+    floor = scaled_baseline / REGRESSION_FACTOR
+    measured = results["batch_sweep"]["runs_per_sec"]
+    if measured < floor:
+        failures.append(
+            f"batched sweep throughput {measured:.1f} runs/s below "
+            f"1/{REGRESSION_FACTOR}x the committed baseline "
+            f"({baseline['batch_sweep']['runs_per_sec']:.1f} runs/s, "
+            f"scaled to {scaled_baseline:.1f} for this machine's speed)")
+    if results["builds_performed"] \
+            != baseline["builds_performed"]:
+        failures.append(
+            f"campaign-only sweep performed "
+            f"{results['builds_performed']} builds, expected "
+            f"{baseline['builds_performed']}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the JSON results")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON to gate against (exit 1 on "
+                             f"a >{REGRESSION_FACTOR}x regression)")
+    parser.add_argument("--batch-size", type=int, default=100)
+    args = parser.parse_args(argv)
+
+    results = measure(batch_size=args.batch_size)
+    print(json.dumps(results, indent=2))
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}", file=sys.stderr)
+
+    if args.check is not None:
+        failures = check_regression(results, args.check)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate: ok", file=sys.stderr)
+    return 0
+
+
+# -- pytest entry point ----------------------------------------------------
+
+def test_batched_sweep_beats_serial():
+    """One build + block sharing must beat per-run builds by >= 3x."""
+    results = measure(batch_size=50)
+    print("\n" + json.dumps(results, indent=2))
+    assert results["builds_performed"] == 1
+    assert results["batch_speedup"] >= 3.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -173,6 +173,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     print()
     print(fleet_summary(result))
+    stats = result.exec_stats
+    parts = []
+    if "builds_performed" in stats:
+        parts.append(f"{stats['builds_performed']} builds performed, "
+                     f"{stats['builds_reused']} reused")
+    if "result_cache_hits" in stats:
+        parts.append(f"{stats['result_cache_misses']} evals computed, "
+                     f"{stats['result_cache_hits']} served from cache")
+    if parts:
+        print("build/eval: " + "; ".join(parts))
     if result.cached_count:
         print(f"cache/resume: {result.cached_count}/{len(result)} "
               f"records reused without recompute")
@@ -342,9 +352,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="with sweep: worker processes (default 1 "
                              "= serial)")
     parser.add_argument("--backend", default="auto",
-                        choices=["auto", "serial", "process", "thread"],
+                        choices=["auto", "batch", "serial", "process",
+                                 "thread"],
                         help="with sweep: execution backend (auto = "
-                             "serial when --jobs 1, else process)")
+                             "batch when --jobs 1, else process)")
     parser.add_argument("--cache", default="", metavar="DIR",
                         help="with sweep: content-addressed result "
                              "cache directory; hits skip recompute")

@@ -4,11 +4,15 @@ Where :mod:`repro.scenarios` makes one city serializable data, this
 package makes *many runs* data: a :class:`SweepSpec` (base specs x
 override axes x seeds) expands into :class:`RunSpec` units driven by
 :func:`run_sweep` through a pluggable :class:`Executor` backend —
-in-process serial, process pool, or thread pool — each run reducing to
+the batched two-phase executor (the single-job default), in-process
+serial, process pool, or thread pool — each run reducing to
 a portable :class:`RunRecord` persisted by :class:`FleetStore`.  A
 content-addressed :class:`ResultCache` (keys are SHA-256 digests of
 ``(spec, seed, density)``) wraps any backend via
-:class:`CachingExecutor` so recomputation is never paid twice, and an
+:class:`CachingExecutor` so recomputation is never paid twice, a
+:class:`CompiledScenarioCache` lets runs differing only in
+sampling-layer fields share one compiled world
+(:mod:`repro.scenarios.identity`), and an
 interrupted sweep's directory resumes with
 :meth:`FleetStore.resume` / :func:`resume_sweep`.  Every record is
 stamped with its ``run_key`` digest (``spec_key``), giving runs a
@@ -46,6 +50,7 @@ Or from the shell::
 from __future__ import annotations
 
 from .cache import CacheStats, CachingExecutor, ResultCache, run_key
+from .compiled import CompiledCacheStats, CompiledScenarioCache
 from .compare import (
     COMPARE_METRICS,
     FleetComparison,
@@ -58,6 +63,7 @@ from .compare import (
 )
 from .executors import (
     BACKENDS,
+    BatchExecutor,
     Executor,
     ProcessPoolBackend,
     RunOutcome,
@@ -77,7 +83,8 @@ from .sweep import (
 )
 
 __all__ = [
-    "BACKENDS", "CacheStats", "CachingExecutor", "COMPARE_METRICS",
+    "BACKENDS", "BatchExecutor", "CacheStats", "CachingExecutor",
+    "COMPARE_METRICS", "CompiledCacheStats", "CompiledScenarioCache",
     "Executor", "FleetComparison", "FleetResult", "FleetStore",
     "MetricDelta", "ProcessPoolBackend", "RecordSet", "ResultCache",
     "RunOutcome", "RunRecord", "RunSpec", "SCHEMA_VERSION",

@@ -1,0 +1,180 @@
+"""Content-addressed cache of compiled scenarios.
+
+The fleet analogue of :class:`~repro.fleet.cache.ResultCache`, one
+level up the reuse ladder: where the result cache skips a run whose
+*full* identity (``run_key``) was seen before, this cache skips the
+*build* of a run whose build layers (``build_key``) were — so a sweep
+over sampling-only knobs compiles its world once and replays only the
+sampling phase per variant.
+
+Two tiers:
+
+* an in-process LRU of live :class:`~repro.core.compiled
+  .CompiledScenario` objects (compiles are ~35x a sampling phase, but
+  live objects hold the whole precompute — the capacity keeps a small
+  working set, enough for a multi-scenario sweep);
+* an optional on-disk store next to the result cache, so *sequential*
+  fleet invocations (cold CLI calls, CI re-runs) skip the build too.
+
+Disk entries are self-verifying: a JSON header line carrying the
+schema version, build key, and the SHA-256 of the pickle blob that
+follows.  Any mismatch — truncation, corruption, a stale schema — is
+treated as a miss: the entry is deleted, counted, and rebuilt.  Like
+the result cache, writes go through a same-directory temp file and an
+atomic :func:`os.replace`, so concurrent fleets never observe partial
+entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..core.compiled import CompiledScenario
+from ..scenarios.identity import build_key as spec_build_key
+from ..scenarios.spec import ScenarioSpec
+
+__all__ = ["COMPILED_DIR", "CompiledCacheStats", "CompiledScenarioCache"]
+
+#: subdirectory of a fleet cache directory holding compiled scenarios
+COMPILED_DIR = "compiled"
+
+_HEADER_SCHEMA = 1
+
+
+@dataclass
+class CompiledCacheStats:
+    """Counters of one cache's lifetime (process-local)."""
+
+    builds: int = 0        #: scenarios compiled from scratch
+    memory_hits: int = 0   #: served from the in-process LRU
+    disk_hits: int = 0     #: unpickled from the on-disk store
+    stores: int = 0        #: entries written to disk
+    corrupt: int = 0       #: disk entries rejected and deleted
+
+    @property
+    def hits(self) -> int:
+        """Builds avoided, either tier."""
+        return self.memory_hits + self.disk_hits
+
+
+class CompiledScenarioCache:
+    """Two-tier (memory + disk) cache of :class:`CompiledScenario`.
+
+    ``directory=None`` disables the disk tier.  Not thread-safe; use
+    one instance per executor (the batch executor owns one).
+    """
+
+    def __init__(self, directory: Optional[Path | str] = None, *,
+                 capacity: int = 4):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.directory = Path(directory) if directory is not None else None
+        self.capacity = capacity
+        self.stats = CompiledCacheStats()
+        self._memory: dict[str, CompiledScenario] = {}
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, spec: ScenarioSpec, seed: int, density: float, *,
+            key: Optional[str] = None) -> CompiledScenario:
+        """The compiled scenario for ``(spec build layers, seed, density)``.
+
+        Checks memory, then disk, then compiles (and back-fills both
+        tiers).  ``key`` skips re-hashing when the caller already
+        computed the build key.
+        """
+        if key is None:
+            key = spec_build_key(spec, seed, density)
+        hit = self._memory.pop(key, None)
+        if hit is not None:
+            self._memory[key] = hit  # re-insert: most recently used
+            self.stats.memory_hits += 1
+            return hit
+        loaded = self._load(key)
+        if loaded is not None:
+            self.stats.disk_hits += 1
+            self._remember(key, loaded)
+            return loaded
+        compiled = CompiledScenario(spec, seed=seed, density=density)
+        self.stats.builds += 1
+        self._remember(key, compiled)
+        self._store(key, compiled)
+        return compiled
+
+    def _remember(self, key: str, compiled: CompiledScenario) -> None:
+        self._memory[key] = compiled
+        while len(self._memory) > self.capacity:
+            self._memory.pop(next(iter(self._memory)))
+
+    def clear(self) -> None:
+        """Drop the in-process tier (disk entries stay)."""
+        self._memory.clear()
+
+    # -- disk tier ------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def _load(self, key: str) -> Optional[CompiledScenario]:
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            head, _, blob = raw.partition(b"\n")
+            header = json.loads(head)
+            if (header.get("schema") != _HEADER_SCHEMA
+                    or header.get("build_key") != key
+                    or header.get("blob_sha256")
+                    != hashlib.sha256(blob).hexdigest()):
+                raise ValueError("compiled entry failed verification")
+            compiled = pickle.loads(blob)
+            if not isinstance(compiled, CompiledScenario) \
+                    or compiled.schema != CompiledScenario.SCHEMA \
+                    or compiled.build_key != key:
+                raise ValueError("compiled entry failed verification")
+        except Exception:
+            # Corrupt, truncated, stale-schema, or unpicklable: drop
+            # the entry and let the caller recompile.
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return compiled
+
+    def _store(self, key: str, compiled: CompiledScenario) -> None:
+        if self.directory is None:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
+        header = json.dumps({
+            "schema": _HEADER_SCHEMA,
+            "build_key": key,
+            "blob_sha256": hashlib.sha256(blob).hexdigest(),
+        }, sort_keys=True, separators=(",", ":")).encode()
+        tmp = path.parent / \
+            f".{path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp"
+        try:
+            tmp.write_bytes(header + b"\n" + blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1

@@ -43,10 +43,12 @@ from typing import (
 
 from ..core.evaluation import InfrastructureEvaluation
 from ..scenarios.spec import ScenarioSpec
+from .compiled import CompiledScenarioCache
 from .sweep import RunRecord, RunSpec, run_key
 
 __all__ = [
     "BACKENDS",
+    "BatchExecutor",
     "Executor",
     "ProcessPoolBackend",
     "RunOutcome",
@@ -173,6 +175,96 @@ class SerialExecutor:
         self.close()
 
 
+class BatchExecutor:
+    """In-process execution through the compiled-scenario cache.
+
+    The two-phase backend (and the ``jobs=1`` default): runs are
+    grouped by :meth:`~repro.fleet.sweep.RunSpec.build_key`, each group
+    compiles its world once (or pulls it from the cache), and every
+    member replays only the sampling phase — sharing bit-identical
+    per-cell RTT blocks through one per-group block cache.  A
+    campaign-only sweep of any width performs exactly one build.
+
+    Records are bit-identical to :class:`SerialExecutor` output (the
+    compiled-scenario equivalence suite pins this), and ``map`` still
+    yields them in input order: outcomes are computed group by group
+    and buffered until their turn.
+    """
+
+    name = "batch"
+
+    def __init__(self, jobs: int = 1, *,
+                 compiled: Optional[CompiledScenarioCache] = None) -> None:
+        self.jobs = 1  # in-process; ``jobs`` accepted for symmetry
+        self.compiled = compiled if compiled is not None \
+            else CompiledScenarioCache()
+
+    def _evaluate(self, run: RunSpec, compiled: Any,
+                  block_cache: dict[Any, Any]) -> RunOutcome:
+        started = time.perf_counter()
+        summary = compiled.evaluate(run.scenario, block_cache=block_cache,
+                                    check_key=False)
+        record = RunRecord(
+            run_id=run.run_id,
+            scenario=run.scenario.name,
+            seed=run.seed,
+            density=run.density,
+            variant=run.variant,
+            summary=summary,
+            spec_key=run.spec_key(),
+        )
+        return RunOutcome(record=record,
+                          wall_s=time.perf_counter() - started)
+
+    def submit(self, run: RunSpec) -> "Future[RunOutcome]":
+        future: "Future[RunOutcome]" = Future()
+        try:
+            outcome, = self.map([run])
+            future.set_result(outcome)
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+    def map(self, runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
+        runs = list(runs)
+        # Group in first-encounter order; seeds iterate innermost in
+        # sweep expansion, so groups interleave and outcomes must be
+        # buffered to preserve input order.
+        group_order: list[str] = []
+        groups: dict[str, list[tuple[int, RunSpec]]] = {}
+        for index, run in enumerate(runs):
+            key = run.build_key()
+            members = groups.get(key)
+            if members is None:
+                members = groups[key] = []
+                group_order.append(key)
+            members.append((index, run))
+        pending: dict[int, RunOutcome] = {}
+        next_index = 0
+        for key in group_order:
+            block_cache: dict[Any, Any] = {}
+            for index, run in groups[key]:
+                # Per-run lookup so the cache counters tell the true
+                # story (1 build + N-1 reuses for an N-run group); all
+                # but the first are in-memory hits.
+                compiled = self.compiled.get(
+                    run.scenario, run.seed, run.density, key=key)
+                pending[index] = self._evaluate(run, compiled, block_cache)
+                while next_index in pending:
+                    yield pending.pop(next_index)
+                    next_index += 1
+
+    def close(self, *, cancel: bool = False) -> None:
+        # Drop the live compiled worlds; the disk tier (if any) stays.
+        self.compiled.clear()
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 class _PoolBackend:
     """Shared submit/map plumbing over a ``concurrent.futures`` pool.
 
@@ -263,9 +355,11 @@ class ThreadedExecutor(_PoolBackend):
         return ThreadPoolExecutor(max_workers=width)
 
 
-#: Backend registry keyed by CLI name (``--backend serial|process|thread``).
+#: Backend registry keyed by CLI name
+#: (``--backend serial|batch|process|thread``).
 BACKENDS: dict[str, Callable[..., "Executor"]] = {
     SerialExecutor.name: SerialExecutor,
+    BatchExecutor.name: BatchExecutor,
     ProcessPoolBackend.name: ProcessPoolBackend,
     ThreadedExecutor.name: ThreadedExecutor,
 }

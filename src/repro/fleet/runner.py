@@ -24,11 +24,12 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from .cache import CachingExecutor, ResultCache
+from .compiled import COMPILED_DIR, CompiledScenarioCache
 from .executors import (
+    BatchExecutor,
     Executor,
     ProcessPoolBackend,
     RunOutcome,
-    SerialExecutor,
     make_executor,
     run_one,
 )
@@ -49,16 +50,35 @@ ExecutorLike = Union[Executor, str, None]
 CacheLike = Union[ResultCache, str, Path, None]
 
 
+def _compiled_cache(cache: CacheLike) -> Optional[CompiledScenarioCache]:
+    """A compiled-scenario cache living next to the result cache.
+
+    Compiled worlds land under ``<cache>/compiled/`` so one ``--cache``
+    directory carries both reuse tiers; without a cache directory the
+    batch executor still shares builds in-process, just not across
+    invocations."""
+    if cache is None:
+        return None
+    directory = cache.directory if isinstance(cache, ResultCache) \
+        else Path(cache)
+    return CompiledScenarioCache(directory / COMPILED_DIR)
+
+
 def _resolve_executor(executor: ExecutorLike, jobs: int,
                       cache: CacheLike) -> tuple[Executor, bool]:
     """The concrete (possibly cache-wrapped) executor, plus whether the
     caller owns it and must close it."""
     if executor is None:
-        resolved: Executor = (SerialExecutor() if jobs <= 1
-                              else ProcessPoolBackend(jobs=jobs))
+        resolved: Executor = (
+            BatchExecutor(compiled=_compiled_cache(cache)) if jobs <= 1
+            else ProcessPoolBackend(jobs=jobs))
         owned = True
     elif isinstance(executor, str):
         resolved = make_executor(executor, jobs=jobs)
+        if isinstance(resolved, BatchExecutor):
+            compiled = _compiled_cache(cache)
+            if compiled is not None:
+                resolved.compiled = compiled
         owned = True
     else:
         resolved = executor
@@ -66,6 +86,27 @@ def _resolve_executor(executor: ExecutorLike, jobs: int,
     if cache is not None:
         resolved = CachingExecutor(resolved, cache)
     return resolved, owned
+
+
+def _stats_snapshot(resolved: Executor) -> dict[str, int]:
+    """Current counters of every reuse tier behind ``resolved``."""
+    stats: dict[str, int] = {}
+    inner = resolved.inner if isinstance(resolved, CachingExecutor) \
+        else resolved
+    if isinstance(resolved, CachingExecutor):
+        stats["result_cache_hits"] = resolved.cache.stats.hits
+        stats["result_cache_misses"] = resolved.cache.stats.misses
+    if isinstance(inner, BatchExecutor):
+        stats["builds_performed"] = inner.compiled.stats.builds
+        stats["builds_reused"] = inner.compiled.stats.hits
+    return stats
+
+
+def _stats_delta(before: dict[str, int],
+                 after: dict[str, int]) -> dict[str, int]:
+    """What one sweep contributed (caches outlive sweeps)."""
+    return {key: after[key] - before.get(key, 0)
+            for key in sorted(after)}
 
 
 def run_sweep(sweep: SweepSpec, *, jobs: int = 1,
@@ -76,9 +117,10 @@ def run_sweep(sweep: SweepSpec, *, jobs: int = 1,
     """Execute every run of ``sweep``; optionally persist to ``out``.
 
     ``executor`` selects the backend: a registered name (``"serial"``,
-    ``"process"``, ``"thread"``), a live :class:`Executor` instance
-    (left open for reuse), or ``None`` to pick from ``jobs`` —
-    in-process when ``jobs <= 1``, a process pool otherwise.  ``cache``
+    ``"batch"``, ``"process"``, ``"thread"``), a live :class:`Executor`
+    instance (left open for reuse), or ``None`` to pick from ``jobs`` —
+    the batched two-phase executor when ``jobs <= 1``, a process pool
+    otherwise.  ``cache``
     (a directory or :class:`ResultCache`) wraps the backend in a
     :class:`CachingExecutor` so already-computed runs return without
     recompute.  Results come back in expansion order either way.
@@ -86,6 +128,7 @@ def run_sweep(sweep: SweepSpec, *, jobs: int = 1,
     runs = sweep.expand()
     total = len(runs)
     resolved, owned = _resolve_executor(executor, jobs, cache)
+    stats_before = _stats_snapshot(resolved)
     store = FleetStore(out) if out else None
     if store is not None:
         store.begin(sweep, jobs=getattr(resolved, "jobs", jobs),
@@ -115,7 +158,9 @@ def run_sweep(sweep: SweepSpec, *, jobs: int = 1,
                          wall_s=wall_s,
                          jobs=getattr(resolved, "jobs", jobs),
                          backend=resolved.name,
-                         cached=tuple(cached))
+                         cached=tuple(cached),
+                         exec_stats=_stats_delta(stats_before,
+                                                 _stats_snapshot(resolved)))
     if store is not None:
         store.save(result, rewrite_records=False)
     return result
@@ -155,6 +200,7 @@ def resume_sweep(directory: Union[str, Path], *, jobs: int = 1,
             missing.append(run)
 
     resolved, owned = _resolve_executor(executor, jobs, cache)
+    stats_before = _stats_snapshot(resolved)
     fresh: dict[str, RunOutcome] = {}
     started = time.perf_counter()
     try:
@@ -187,7 +233,9 @@ def resume_sweep(directory: Union[str, Path], *, jobs: int = 1,
                          wall_s=wall_s,
                          jobs=getattr(resolved, "jobs", jobs),
                          backend=resolved.name,
-                         cached=tuple(cached))
+                         cached=tuple(cached),
+                         exec_stats=_stats_delta(stats_before,
+                                                 _stats_snapshot(resolved)))
     # Fresh records were streamed in via write_record and the reused
     # ones never left disk, so only the manifest + CSV need writing.
     store.save(result, rewrite_records=False)

@@ -24,9 +24,9 @@ from __future__ import annotations
 import csv
 import json
 import statistics as pystats
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from .sweep import RunRecord, RunSpec, SweepSpec, record_matches_spec
 
@@ -61,6 +61,12 @@ class FleetResult:
     #: Per-record flag: ``True`` when the record was reused (cache hit
     #: or resumed from disk) rather than computed by this execution.
     cached: tuple[bool, ...] = ()
+    #: Reuse-tier counters this execution contributed (e.g. ``builds_
+    #: performed``/``builds_reused`` from the compiled-scenario cache,
+    #: ``result_cache_hits``/``result_cache_misses`` from the result
+    #: cache).  Execution metadata like ``wall_s`` — describes one
+    #: machine's run, so it stays out of the persisted manifest.
+    exec_stats: Mapping[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "records", tuple(self.records))

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from ..core.evaluation import EvaluationSummary
+from ..scenarios.identity import build_key as spec_build_key
 from ..scenarios.spec import ScenarioSpec
 
 __all__ = [
@@ -226,6 +227,12 @@ class RunSpec:
     def spec_key(self) -> str:
         """The run's content identity: :func:`run_key` over its inputs."""
         return run_key(self.scenario, self.seed, self.density)
+
+    def build_key(self) -> str:
+        """The run's *build* identity: runs sharing it differ only in
+        sampling-layer fields and can evaluate against one compiled
+        scenario (see :mod:`repro.scenarios.identity`)."""
+        return spec_build_key(self.scenario, self.seed, self.density)
 
     def legacy_identity(self) -> tuple[Any, ...]:
         """The metadata identity a digest-less (v2) record can be

@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -75,6 +75,44 @@ class MeasurementDataset:
         self._rtts[self._n] = rtt_s
         self._target_col[self._n] = tid
         self._n += 1
+
+    @classmethod
+    def from_columns(cls, times: np.ndarray, cols: np.ndarray,
+                     rows: np.ndarray, target_col: np.ndarray,
+                     targets: Sequence[str],
+                     rtts: np.ndarray) -> "MeasurementDataset":
+        """Bulk constructor from parallel column arrays.
+
+        The batched campaign kernel assembles whole datasets at once;
+        this produces exactly the state ``add`` would have built row by
+        row (same dtypes, same first-appearance target ids), enforcing
+        the same invariants.  Arrays are copied, so callers may share
+        one template across many datasets.
+        """
+        n = len(times)
+        if not (len(cols) == len(rows) == len(target_col)
+                == len(rtts) == n):
+            raise ValueError("column arrays must share one length")
+        rtts = np.array(rtts, dtype=np.float64)
+        if n and float(rtts.min()) < 0:
+            raise ValueError("RTT must be non-negative")
+        target_col = np.array(target_col, dtype=np.int32)
+        if n and not (0 <= int(target_col.min())
+                      and int(target_col.max()) < len(targets)):
+            raise ValueError("target column indexes out of range")
+        ds = cls()
+        if n:  # keep the default capacity when empty (``_grow`` doubles)
+            ds._times = np.array(times, dtype=np.float64)
+            ds._cols = np.array(cols, dtype=np.int32)
+            ds._rows = np.array(rows, dtype=np.int32)
+            ds._rtts = rtts
+            ds._target_col = target_col
+        ds._targets = list(targets)
+        ds._target_ids = {name: i for i, name in enumerate(ds._targets)}
+        if len(ds._target_ids) != len(ds._targets):
+            raise ValueError("target names must be unique")
+        ds._n = n
+        return ds
 
     # -- access ---------------------------------------------------------------
 

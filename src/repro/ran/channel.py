@@ -33,6 +33,14 @@ __all__ = ["ChannelModel"]
 class ChannelModel:
     """Link-budget model for one carrier frequency."""
 
+    #: Upper bound on memoised shadowing tiles.  ~10 m tiles over a
+    #: city-scale grid stay far below this, but a long-lived process
+    #: sweeping many large scenarios must not grow the memo without
+    #: bound.  Eviction is least-recently-used and only ever forces a
+    #: re-derivation — the draw is a pure function of
+    #: ``(seed, sigma, tile)``, so values never change.
+    SHADOW_CACHE_CAPACITY = 65536
+
     def __init__(self, carrier_frequency_hz: float, *,
                  tx_power_dbm: float = 44.0,
                  antenna_gain_db: float = 8.0,
@@ -53,8 +61,9 @@ class ChannelModel:
         self.bandwidth_hz = bandwidth_hz
         self.shadowing_sigma_db = shadowing_sigma_db
         self.seed = seed
-        #: tile -> shadowing memo; the draw is a pure function of
-        #: (seed, sigma, quantized tile), so caching it is
+        #: tile -> shadowing memo in recency order, bounded at
+        #: ``SHADOW_CACHE_CAPACITY`` entries (LRU); the draw is a pure
+        #: function of (seed, sigma, quantized tile), so caching it is
         #: observationally invisible.  ``_shadow_inputs`` guards the
         #: memo against post-hoc mutation of the public attributes.
         self._shadow_cache: dict[tuple[int, int], float] = {}
@@ -105,12 +114,17 @@ class ChannelModel:
             self._shadow_cache.clear()
             self._shadow_inputs = inputs
         tile = (round(location.lat * 1e4), round(location.lon * 1e4))
-        value = self._shadow_cache.get(tile)
+        cache = self._shadow_cache
+        value = cache.pop(tile, None)
         if value is None:
             rng = np.random.Generator(np.random.PCG64(
                 stable_seed(self.seed, "shadow", *tile)))
             value = float(rng.normal(0.0, self.shadowing_sigma_db))
-            self._shadow_cache[tile] = value
+            while len(cache) >= self.SHADOW_CACHE_CAPACITY:
+                del cache[next(iter(cache))]
+        # (Re-)insert at the back: dict order is recency order, so the
+        # eviction above drops the least recently used tile.
+        cache[tile] = value
         return value
 
     def shadowing_db_many(self, locations: Sequence[GeoPoint]) -> np.ndarray:

@@ -22,7 +22,8 @@ or from your own spec factory (register it to make
 
 from __future__ import annotations
 
-from .build import BuiltScenario, build
+from .build import BuiltScenario, build, build_count
+from .identity import build_key, build_payload
 from .klagenfurt import klagenfurt
 from .registry import get, load_spec, names, register
 from .skopje import skopje
@@ -45,7 +46,8 @@ __all__ = [
     "ASSpec", "CampaignSpec", "GatewaySpec", "GridSpec", "LinkSpec",
     "NodeSpec", "PeerSpec", "PopulationSpec", "ProbeSpec", "RadioSpec",
     "ScenarioSpec", "SiteSpec",
-    "BuiltScenario", "build",
+    "BuiltScenario", "build", "build_count",
+    "build_key", "build_payload",
     "register", "get", "names", "load_spec",
     "klagenfurt", "skopje",
 ]

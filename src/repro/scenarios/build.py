@@ -49,13 +49,26 @@ from ..ran.gnb import GNodeB, RadioNetwork
 from ..sim.rng import RngRegistry
 from .spec import ScenarioSpec
 
-__all__ = ["BuiltScenario", "build"]
+__all__ = ["BuiltScenario", "build", "build_count"]
+
+#: Process-wide count of scenario compilations.  Instrumentation for
+#: the build/run split: tests and benchmarks snapshot it around a sweep
+#: to assert how many builds the compiled-scenario cache actually
+#: performed (e.g. exactly one for a campaign-only sweep).
+_BUILD_COUNT = 0
+
+
+def build_count() -> int:
+    """How many :class:`BuiltScenario` compilations this process ran."""
+    return _BUILD_COUNT
 
 
 class BuiltScenario:
     """A compiled scenario: the world every study layer runs against."""
 
     def __init__(self, spec: ScenarioSpec, seed: int = 42) -> None:
+        global _BUILD_COUNT
+        _BUILD_COUNT += 1
         self.spec = spec
         self.seed = seed
         self.rng = RngRegistry(seed)
@@ -166,12 +179,18 @@ class BuiltScenario:
         # Draws consume the stream in grid order so equal specs + equal
         # seeds stay bit-identical (the anchors overwrite afterwards,
         # exactly like the original Klagenfurt construction).
-        extra_load: dict[CellId, float] = {}
+        draws: dict[CellId, float] = {}
         if camp.extra_load_range is not None:
             lo, hi = camp.extra_load_range
             load_rng = self.rng.stream("scenario.load")
             for cell in self.traversed_cells:
-                extra_load[cell] = float(load_rng.uniform(lo, hi))
+                draws[cell] = float(load_rng.uniform(lo, hi))
+        # The pre-anchor draws are build-layer state (they consumed the
+        # stream); anchors are sampling-layer overwrites.  Keeping the
+        # draws lets a compiled scenario re-apply any variant's anchors
+        # without touching the stream.
+        self.extra_load_draws = draws
+        extra_load = dict(draws)
         for label, value in camp.extra_load_anchors:
             extra_load[CellId.from_label(label)] = value
 

@@ -10,6 +10,7 @@ import threading
 
 import pytest
 
+from repro.core.compiled import CompiledScenario
 from repro.core.evaluation import InfrastructureEvaluation
 from repro.fleet import (
     SCHEMA_VERSION,
@@ -48,15 +49,23 @@ def small_sweep(values=(30e-3, 60e-3), seeds=(42,), **kwargs) -> SweepSpec:
 
 @pytest.fixture
 def eval_counter(monkeypatch):
-    """Counts every InfrastructureEvaluation.run this test triggers."""
+    """Counts every run evaluation this test triggers — a full
+    InfrastructureEvaluation or a compiled-scenario sampling phase
+    (the batch backend's unit of work)."""
     calls = []
     real_run = InfrastructureEvaluation.run
+    real_evaluate = CompiledScenario.evaluate
 
     def counting_run(self, *args, **kwargs):
         calls.append(1)
         return real_run(self, *args, **kwargs)
 
+    def counting_evaluate(self, *args, **kwargs):
+        calls.append(1)
+        return real_evaluate(self, *args, **kwargs)
+
     monkeypatch.setattr(InfrastructureEvaluation, "run", counting_run)
+    monkeypatch.setattr(CompiledScenario, "evaluate", counting_evaluate)
     return calls
 
 

@@ -5,6 +5,7 @@ import pytest
 
 from repro.fleet import (
     BACKENDS,
+    BatchExecutor,
     ProcessPoolBackend,
     RunOutcome,
     SerialExecutor,
@@ -36,9 +37,10 @@ def small_sweep(**kwargs) -> SweepSpec:
 # Registry
 # ---------------------------------------------------------------------------
 
-def test_registry_names_the_three_backends():
-    assert set(BACKENDS) == {"serial", "process", "thread"}
+def test_registry_names_the_four_backends():
+    assert set(BACKENDS) == {"serial", "batch", "process", "thread"}
     assert isinstance(make_executor("serial"), SerialExecutor)
+    assert isinstance(make_executor("batch"), BatchExecutor)
     assert isinstance(make_executor("process", jobs=2), ProcessPoolBackend)
     assert isinstance(make_executor("thread", jobs=2), ThreadedExecutor)
 
@@ -102,8 +104,9 @@ def test_all_backends_produce_bit_identical_records():
 
 
 def test_jobs_alone_still_selects_the_backend():
-    # The pre-executor API: jobs<=1 serial, jobs>1 process pool.
-    assert run_sweep(small_sweep()).backend == "serial"
+    # The pre-executor API: jobs<=1 batched in-process, jobs>1
+    # process pool.
+    assert run_sweep(small_sweep()).backend == "batch"
     assert run_sweep(small_sweep(), jobs=2).backend == "process"
 
 

@@ -103,6 +103,64 @@ def test_dataset_growth():
     assert ds.rtts.shape == (5000,)
 
 
+def test_dataset_from_columns_equals_add_loop():
+    """The bulk constructor must build exactly the state ``add`` does."""
+    rows = [(0.0, CellId.from_label("C3"), "probe", 0.065),
+            (1.0, CellId.from_label("C3"), "peer-1", 0.050),
+            (2.0, CellId.from_label("B2"), "probe", 0.048),
+            (3.0, CellId.from_label("B2"), "peer-1", 0.061)]
+    reference = MeasurementDataset()
+    for time, cell, target, rtt in rows:
+        reference.add(time, cell, target, rtt)
+
+    bulk = MeasurementDataset.from_columns(
+        np.array([r[0] for r in rows]),
+        np.array([r[1].col for r in rows], dtype=np.int32),
+        np.array([r[1].row for r in rows], dtype=np.int32),
+        np.array([0, 1, 0, 1], dtype=np.int32),
+        ["probe", "peer-1"],                # first-appearance order
+        np.array([r[3] for r in rows]))
+    assert len(bulk) == len(reference)
+    assert bulk.rtts.tolist() == reference.rtts.tolist()
+    assert bulk.times.tolist() == reference.times.tolist()
+    assert [r.target for r in bulk.records()] \
+        == [r.target for r in reference.records()]
+    assert bulk.cells_observed() == reference.cells_observed()
+    # Arrays are copied, and the dataset stays appendable.
+    bulk.add(4.0, CellId.from_label("A1"), "probe", 0.02)
+    assert len(bulk) == 5
+
+
+def test_dataset_from_columns_validates():
+    times = np.zeros(2)
+    cols = np.zeros(2, dtype=np.int32)
+    rows = np.zeros(2, dtype=np.int32)
+    with pytest.raises(ValueError, match="share one length"):
+        MeasurementDataset.from_columns(
+            times, cols, rows, np.zeros(3, dtype=np.int32), ["t"],
+            np.zeros(2))
+    with pytest.raises(ValueError, match="non-negative"):
+        MeasurementDataset.from_columns(
+            times, cols, rows, np.zeros(2, dtype=np.int32), ["t"],
+            np.array([0.1, -0.1]))
+    with pytest.raises(ValueError, match="out of range"):
+        MeasurementDataset.from_columns(
+            times, cols, rows, np.array([0, 1], dtype=np.int32), ["t"],
+            np.zeros(2))
+    with pytest.raises(ValueError, match="unique"):
+        MeasurementDataset.from_columns(
+            times, cols, rows, np.zeros(2, dtype=np.int32), ["t", "t"],
+            np.zeros(2))
+    # Empty columns give a working, appendable dataset.
+    empty = MeasurementDataset.from_columns(
+        np.empty(0), np.empty(0, dtype=np.int32),
+        np.empty(0, dtype=np.int32), np.empty(0, dtype=np.int32), [],
+        np.empty(0))
+    assert len(empty) == 0
+    empty.add(0.0, CellId(0, 0), "t", 0.05)
+    assert len(empty) == 1
+
+
 def test_dataset_records_round_trip():
     ds = MeasurementDataset()
     ds.add(1.5, CellId.from_label("C2"), "probe", 0.0655)

@@ -314,6 +314,26 @@ def test_shadowing_memo_caches_per_tile(channel):
     assert len(channel._shadow_cache) == 2
 
 
+def test_shadowing_memo_is_bounded_lru(channel, monkeypatch):
+    """The memo evicts least-recently-used tiles at the capacity cap —
+    values stay bit-identical (the draw is pure), only re-derivation
+    cost returns."""
+    monkeypatch.setattr(ChannelModel, "SHADOW_CACHE_CAPACITY", 3)
+    spots = [GeoPoint(46.62 + 0.01 * i, 14.30) for i in range(5)]
+    values = [channel.shadowing_db(s) for s in spots]
+    assert len(channel._shadow_cache) == 3
+
+    # Keeping one tile hot makes it survive further insertions...
+    assert channel.shadowing_db(spots[4]) == values[4]
+    channel.shadowing_db(GeoPoint(46.9, 14.9))
+    channel.shadowing_db(GeoPoint(46.91, 14.9))
+    assert channel.shadowing_db(spots[4]) == values[4]
+    # ...and evicted tiles re-derive to the exact same draw.
+    for spot, value in zip(spots, values):
+        assert channel.shadowing_db(spot) == value
+    assert len(channel._shadow_cache) == 3
+
+
 def test_shadowing_memo_matches_fresh_instance(channel):
     """The memoized draw equals an uncached model's draw."""
     fresh = ChannelModel(3.5e9, seed=7)

@@ -1,0 +1,137 @@
+"""The build/sampling field partition and the build-key contract.
+
+The two-phase split is only sound if the partition in
+``repro.scenarios.identity`` is *complete*: every spec field is either
+build-layer (changing it changes the ``build_key``) or sampling-layer
+(changing it must NOT change the ``build_key``, and evaluating the
+edited spec against the original compiled scenario must stay
+bit-identical — ``tests/test_compiled_scenario.py`` covers that half).
+These tests pin the partition, its exhaustiveness over the dataclass
+fields, and the key's sensitivity in both directions.
+"""
+
+import dataclasses
+
+from repro.fleet.sweep import run_key
+from repro.scenarios import build_key, build_payload, klagenfurt
+from repro.scenarios.identity import (
+    SAMPLING_CAMPAIGN_FIELDS,
+    SAMPLING_PEER_FIELDS,
+    SAMPLING_SCENARIO_FIELDS,
+)
+from repro.scenarios.spec import CampaignSpec, PeerSpec, ScenarioSpec
+
+SEED, DENSITY = 42, 2.0
+
+
+def _field_names(cls):
+    return {f.name for f in dataclasses.fields(cls)}
+
+
+# ---------------------------------------------------------------------------
+# Partition exhaustiveness: every field is explicitly classified
+# ---------------------------------------------------------------------------
+
+def test_every_campaign_field_is_classified():
+    """A new CampaignSpec field must be placed in exactly one layer.
+
+    Build-layer membership is implicit (subtractive payload), so this
+    enumerates today's build-layer fields explicitly: extending the
+    dataclass forces whoever does it to decide — and to prove the
+    sampling claim with an equivalence test before moving a field out
+    of the build layer.
+    """
+    build_fields = {
+        "default_gateway", "gateways", "peers", "default_targets",
+        "cell_targets", "gateway_by_cell", "extra_load_range",
+        "route_weighting", "min_samples",
+    }
+    assert build_fields | SAMPLING_CAMPAIGN_FIELDS \
+        == _field_names(CampaignSpec)
+    assert not build_fields & SAMPLING_CAMPAIGN_FIELDS
+
+
+def test_every_peer_field_is_classified():
+    build_fields = {"name", "gateway"}
+    assert build_fields | SAMPLING_PEER_FIELDS == _field_names(PeerSpec)
+    assert not build_fields & SAMPLING_PEER_FIELDS
+
+
+def test_every_scenario_field_is_classified():
+    build_fields = {
+        "name", "grid", "population", "radio", "campaign", "systems",
+        "transits", "peerings", "nodes", "links", "probes",
+        "reference_src", "reference_dst", "wired_src", "wired_dst",
+        "detour_loop_end", "detour_circuity",
+    }
+    assert build_fields | SAMPLING_SCENARIO_FIELDS \
+        == _field_names(ScenarioSpec)
+    assert not build_fields & SAMPLING_SCENARIO_FIELDS
+
+
+def test_unknown_fields_default_to_the_build_layer():
+    """The payload is subtractive: anything to_dict emits that is not
+    explicitly sampling-layer lands in the build payload (the safe
+    direction — an unclassified field forces rebuilds)."""
+    payload = build_payload(klagenfurt())
+    assert "description" not in payload
+    campaign = payload["campaign"]
+    for name in SAMPLING_CAMPAIGN_FIELDS:
+        assert name not in campaign
+    for peer in campaign["peers"]:
+        assert set(peer) & SAMPLING_PEER_FIELDS == set()
+        assert "name" in peer and "gateway" in peer
+    # Build-layer campaign fields survive the subtraction.
+    assert "gateways" in campaign and "extra_load_range" in campaign
+
+
+# ---------------------------------------------------------------------------
+# Key sensitivity
+# ---------------------------------------------------------------------------
+
+def test_build_key_is_stable_and_distinct_from_run_key():
+    spec = klagenfurt()
+    key = build_key(spec, SEED, DENSITY)
+    assert len(key) == 64 and int(key, 16) >= 0
+    assert key == build_key(klagenfurt(), SEED, DENSITY)
+    assert key != run_key(spec, SEED, DENSITY)
+
+
+def test_seed_and_density_feed_the_build_key():
+    # Both shape the build phase: the seed roots every named stream
+    # (extra-load draws, shadowing, the route walk), the density sizes
+    # the route.
+    spec = klagenfurt()
+    key = build_key(spec, SEED, DENSITY)
+    assert build_key(spec, SEED + 1, DENSITY) != key
+    assert build_key(spec, SEED, DENSITY + 1.0) != key
+
+
+def test_sampling_layer_edits_keep_the_build_key():
+    spec = klagenfurt()
+    key = build_key(spec, SEED, DENSITY)
+    for override in ({"description": "same world, new words"},
+                     {"campaign.handover_interruption_s": 0.2},
+                     {"campaign.max_cell_load": 0.5},
+                     {"campaign.peer_site_index": 3},
+                     {"campaign.extra_load_anchors.0.1": 0.77},
+                     {"campaign.handover_prob.0.1": 0.5},
+                     {"campaign.peers.0.air_load": 0.11},
+                     {"campaign.peers.0.sinr_db": 3.0}):
+        edited = spec.with_overrides(override)
+        assert build_key(edited, SEED, DENSITY) == key, override
+        # ... while the all-inclusive run identity always moves.
+        assert run_key(edited, SEED, DENSITY) \
+            != run_key(spec, SEED, DENSITY), override
+
+
+def test_build_layer_edits_change_the_build_key():
+    spec = klagenfurt()
+    key = build_key(spec, SEED, DENSITY)
+    for override in ({"campaign.default_targets.0": "vie-ix"},
+                     {"campaign.peers.0.gateway": "vie-gw"},
+                     {"radio.sites.0.load": 0.9},
+                     {"campaign.extra_load_range.1": 0.5},
+                     {"detour_circuity": 1.2}):
+        edited = spec.with_overrides(override)
+        assert build_key(edited, SEED, DENSITY) != key, override
