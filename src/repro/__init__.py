@@ -39,5 +39,5 @@ from __future__ import annotations
 
 from . import units
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 __all__ = ["units", "__version__"]

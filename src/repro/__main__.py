@@ -9,7 +9,18 @@ scenarios     list registered scenarios, or dump one as JSON
 sweep         run a parameter sweep / multi-seed fleet over scenario
               specs (``--set path=v1,v2,...`` per axis, ``--seeds``,
               ``--backend``, ``--jobs``, ``--cache``, ``--out``;
-              ``--resume`` finishes an interrupted fleet directory)
+              ``--resume`` finishes an interrupted fleet directory;
+              ``--backend remote --server URL`` executes on a fleet
+              service's workers)
+serve         run the fleet service: an HTTP control plane (scenario
+              registry, fleet submission, NDJSON progress streams,
+              compare reports, worker lease/result plane) over one
+              shared result cache, with periodic cache GC
+worker        lease runs from a fleet service and evaluate them via
+              the compiled/batch path, posting records back
+cache         inspect (``cache stats``) or garbage-collect
+              (``cache gc --max-bytes --max-age``) a shared cache
+              directory, both result and compiled tiers
 compare       align two or more fleet directories (or result caches)
               by run content identity and print per-variant metric
               deltas (``--baseline``, ``--csv``, ``--json``;
@@ -32,7 +43,7 @@ import argparse
 import json
 import sys
 
-from . import scenarios, units
+from . import __version__, scenarios, units
 from .apps import all_profiles
 from .core import (
     CpfEnhancementStudy,
@@ -118,17 +129,20 @@ def _parse_seeds(text: str) -> tuple[int, ...]:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .fleet import (FleetStore, SweepAxis, SweepSpec, fleet_summary,
-                        run_sweep)
+                        make_executor, print_progress, run_sweep)
 
     backend = None if args.backend == "auto" else args.backend
+    if backend == "remote":
+        # The one backend with connection state: build it here so the
+        # URL travels with it (run_sweep only threads jobs through).
+        if not args.server:
+            print("error: --backend remote needs --server URL",
+                  file=sys.stderr)
+            return 2
+        backend = make_executor("remote", jobs=args.jobs,
+                                server=args.server)
     cache = args.cache or None
-
-    def progress(done: int, total: int, record) -> None:
-        print(f"  [{done}/{total}] {record.run_id}: "
-              f"{units.to_ms(record.summary.gap.mobile_mean_s):.1f} ms "
-              f"mobile mean")
-
-    progress_fn = progress if args.progress else None
+    progress_fn = print_progress if args.progress else None
     try:
         if args.resume:
             if not args.out:
@@ -240,6 +254,99 @@ def cmd_lint(args: argparse.Namespace) -> int:
     )
 
 
+def _parse_bytes(text: str) -> int:
+    """A byte budget: plain int or K/M/G-suffixed (``"64M"``)."""
+    text = text.strip()
+    scale = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+    suffix = text[-1:].upper()
+    if suffix in scale:
+        return int(float(text[:-1]) * scale[suffix])
+    return int(text)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ReproService
+
+    try:
+        max_bytes = _parse_bytes(args.max_bytes) \
+            if args.max_bytes else None
+        service = ReproService(
+            args.root,
+            host=args.host, port=args.port,
+            cache_dir=args.cache or None,
+            lease_ttl_s=args.lease_ttl,
+            gc_max_bytes=max_bytes,
+            gc_max_age_s=args.max_age,
+            gc_interval_s=args.gc_interval)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"fleet service on {service.url}  (root {args.root}/, "
+          f"cache {service.cache_dir}/)")
+    print(service.last_gc.summary())
+    print("submit:  POST /fleets   workers: python -m repro worker "
+          f"--server {service.url}")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .service import ServiceUnavailable, run_worker
+
+    if not args.server:
+        print("error: worker needs --server URL", file=sys.stderr)
+        return 2
+    try:
+        completed = run_worker(
+            args.server,
+            worker_id=args.worker_id,
+            poll_s=args.poll,
+            max_idle_s=args.max_idle,
+            max_runs=args.max_runs,
+            cache_dir=args.cache or None,
+            log=print)
+    except KeyboardInterrupt:
+        return 0
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker done: {completed} runs evaluated")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .fleet import cache_usage, run_gc
+
+    if len(args.paths) != 1 or args.paths[0] not in ("stats", "gc"):
+        print("error: usage is 'cache stats' or 'cache gc', with "
+              "--cache DIR naming the cache directory",
+              file=sys.stderr)
+        return 2
+    action = args.paths[0]
+    directory = args.cache or "result-cache"
+    try:
+        if action == "stats":
+            usage = cache_usage(directory)
+            print(json.dumps(usage.to_dict(), indent=2, sort_keys=True)
+                  if args.json else usage.summary())
+        else:
+            max_bytes = _parse_bytes(args.max_bytes) \
+                if args.max_bytes else None
+            report = run_gc(directory, max_bytes=max_bytes,
+                            max_age_s=args.max_age)
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True)
+                  if args.json else report.summary())
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_peering(args: argparse.Namespace) -> int:
     outcome = LocalPeeringExperiment(
         KlagenfurtScenario(seed=args.seed)).run()
@@ -308,6 +415,9 @@ COMMANDS = {
     "evaluate": cmd_evaluate,
     "scenarios": cmd_scenarios,
     "sweep": cmd_sweep,
+    "serve": cmd_serve,
+    "worker": cmd_worker,
+    "cache": cmd_cache,
     "compare": cmd_compare,
     "lint": cmd_lint,
     "peering": cmd_peering,
@@ -322,6 +432,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction of '6G Infrastructures for Edge AI'")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     parser.add_argument("command", choices=sorted(COMMANDS),
                         help="which experiment to run")
     parser.add_argument("paths", nargs="*", metavar="DIR",
@@ -329,7 +441,8 @@ def main(argv: list[str] | None = None) -> int:
                              "directories or result caches (first is "
                              "the baseline unless --baseline is "
                              "given); with lint: files/directories to "
-                             "check (default: the configured paths)")
+                             "check (default: the configured paths); "
+                             "with cache: the action, stats or gc")
     parser.add_argument("--seed", type=int, default=42,
                         help="scenario seed (default 42)")
     parser.add_argument("--scenario", default="klagenfurt",
@@ -353,12 +466,59 @@ def main(argv: list[str] | None = None) -> int:
                              "= serial)")
     parser.add_argument("--backend", default="auto",
                         choices=["auto", "batch", "serial", "process",
-                                 "thread"],
+                                 "thread", "remote"],
                         help="with sweep: execution backend (auto = "
-                             "batch when --jobs 1, else process)")
+                             "batch when --jobs 1, else process; "
+                             "remote needs --server)")
     parser.add_argument("--cache", default="", metavar="DIR",
-                        help="with sweep: content-addressed result "
-                             "cache directory; hits skip recompute")
+                        help="with sweep/serve/worker: "
+                             "content-addressed cache directory; with "
+                             "cache: the directory to inspect/collect "
+                             "(default result-cache)")
+    parser.add_argument("--server", default="", metavar="URL",
+                        help="with sweep --backend remote and worker: "
+                             "fleet service base URL")
+    parser.add_argument("--root", default="fleet-service",
+                        metavar="DIR",
+                        help="with serve: service state directory for "
+                             "fleet outputs (default fleet-service)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="with serve: bind address (default "
+                             "127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="with serve: TCP port, 0 = ephemeral "
+                             "(default 8642)")
+    parser.add_argument("--lease-ttl", type=float, default=60.0,
+                        dest="lease_ttl", metavar="SECONDS",
+                        help="with serve: worker lease timeout before "
+                             "a run is re-queued (default 60)")
+    parser.add_argument("--max-bytes", default="",
+                        dest="max_bytes", metavar="N[K|M|G]",
+                        help="with serve/cache gc: evict "
+                             "least-recently-used cache entries until "
+                             "the combined tiers fit this budget")
+    parser.add_argument("--max-age", type=float, default=None,
+                        dest="max_age", metavar="SECONDS",
+                        help="with serve/cache gc: drop cache entries "
+                             "older than this")
+    parser.add_argument("--gc-interval", type=float, default=300.0,
+                        dest="gc_interval", metavar="SECONDS",
+                        help="with serve: seconds between periodic GC "
+                             "passes (default 300)")
+    parser.add_argument("--worker-id", default="", dest="worker_id",
+                        help="with worker: stable identity reported "
+                             "to the service (default worker-<pid>)")
+    parser.add_argument("--poll", type=float, default=0.5,
+                        help="with worker: idle poll interval in "
+                             "seconds (default 0.5)")
+    parser.add_argument("--max-idle", type=float, default=None,
+                        dest="max_idle", metavar="SECONDS",
+                        help="with worker: exit after this long "
+                             "without work (default: run forever)")
+    parser.add_argument("--max-runs", type=int, default=None,
+                        dest="max_runs", metavar="N",
+                        help="with worker: exit after N completed "
+                             "runs (default: unlimited)")
     parser.add_argument("--resume", action="store_true",
                         help="with sweep: finish the fleet in --out, "
                              "re-running only missing records")
@@ -401,7 +561,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="with lint: print the REP rule catalog "
                              "and exit")
     args = parser.parse_args(argv)
-    if args.paths and args.command not in ("compare", "lint"):
+    if args.paths and args.command not in ("compare", "lint", "cache"):
         # The DIR positionals exist for compare and lint alone;
         # swallowing them elsewhere would turn a typo into a
         # silently-defaulted run.

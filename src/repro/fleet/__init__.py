@@ -49,7 +49,13 @@ Or from the shell::
 
 from __future__ import annotations
 
-from .cache import CacheStats, CachingExecutor, ResultCache, run_key
+from .cache import (
+    CacheStats,
+    CachingExecutor,
+    ResultCache,
+    rebind_record,
+    run_key,
+)
 from .compiled import CompiledCacheStats, CompiledScenarioCache
 from .compare import (
     COMPARE_METRICS,
@@ -66,11 +72,14 @@ from .executors import (
     BatchExecutor,
     Executor,
     ProcessPoolBackend,
+    RemoteExecutor,
     RunOutcome,
     SerialExecutor,
     ThreadedExecutor,
     make_executor,
 )
+from .gc import CacheUsage, GcReport, TierUsage, cache_usage, run_gc
+from .progress import ProgressEvent, print_progress
 from .report import comparison_summary, fleet_summary, write_csv
 from .runner import resume_sweep, run_one, run_sweep
 from .store import FleetResult, FleetStore, SCHEMA_VERSION
@@ -83,14 +92,17 @@ from .sweep import (
 )
 
 __all__ = [
-    "BACKENDS", "BatchExecutor", "CacheStats", "CachingExecutor",
-    "COMPARE_METRICS", "CompiledCacheStats", "CompiledScenarioCache",
-    "Executor", "FleetComparison", "FleetResult", "FleetStore",
-    "MetricDelta", "ProcessPoolBackend", "RecordSet", "ResultCache",
-    "RunOutcome", "RunRecord", "RunSpec", "SCHEMA_VERSION",
-    "SerialExecutor", "SweepAxis", "SweepSpec", "ThreadedExecutor",
-    "VariantDelta", "compare_paths", "compare_record_sets",
+    "BACKENDS", "BatchExecutor", "CacheStats", "CacheUsage",
+    "CachingExecutor", "COMPARE_METRICS", "CompiledCacheStats",
+    "CompiledScenarioCache", "Executor", "FleetComparison",
+    "FleetResult", "FleetStore", "GcReport", "MetricDelta",
+    "ProcessPoolBackend", "ProgressEvent", "RecordSet",
+    "RemoteExecutor", "ResultCache", "RunOutcome", "RunRecord",
+    "RunSpec", "SCHEMA_VERSION", "SerialExecutor", "SweepAxis",
+    "SweepSpec", "ThreadedExecutor", "TierUsage", "VariantDelta",
+    "cache_usage", "compare_paths", "compare_record_sets",
     "comparison_summary", "fleet_summary", "make_executor",
-    "parse_fail_on", "record_matches_spec", "resume_sweep", "run_key",
+    "parse_fail_on", "print_progress", "rebind_record",
+    "record_matches_spec", "resume_sweep", "run_gc", "run_key",
     "run_one", "run_sweep", "write_csv",
 ]

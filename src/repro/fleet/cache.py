@@ -44,6 +44,7 @@ __all__ = [
     "CachingExecutor",
     "ResultCache",
     "canonical_dumps",
+    "rebind_record",
     "run_key",
 ]
 
@@ -56,6 +57,22 @@ ORPHAN_TMP_TTL_S = 3600.0
 
 def _payload_sha256(record_dict: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical_dumps(record_dict).encode()).hexdigest()
+
+
+def rebind_record(record: RunRecord, run: RunSpec, key: str) -> RunRecord:
+    """A cached record re-labelled for one sweep's bookkeeping.
+
+    The summary is content-addressed; ``run_id`` and variant labels
+    are sweep-local metadata, so a record cached by one sweep slots
+    into any other that reaches the same key.  Entries written by
+    pre-``spec_key`` caches get the digest stamped on the way out —
+    it *is* the key they were stored under.
+    """
+    if (record.run_id == run.run_id and record.variant == run.variant
+            and record.spec_key == key):
+        return record
+    return replace(record, run_id=run.run_id, variant=run.variant,
+                   spec_key=key)
 
 
 @dataclass
@@ -200,21 +217,9 @@ class CachingExecutor:
     def jobs(self) -> int:
         return getattr(self.inner, "jobs", 1)
 
-    @staticmethod
-    def _rebind(record: RunRecord, run: RunSpec, key: str) -> RunRecord:
-        """A cached record re-labelled for this sweep's bookkeeping.
-
-        The summary is content-addressed; ``run_id`` and variant labels
-        are sweep-local metadata, so a record cached by one sweep slots
-        into any other that reaches the same key.  Entries written by
-        pre-``spec_key`` caches get the digest stamped on the way out —
-        it *is* the key they were stored under.
-        """
-        if (record.run_id == run.run_id and record.variant == run.variant
-                and record.spec_key == key):
-            return record
-        return replace(record, run_id=run.run_id, variant=run.variant,
-                       spec_key=key)
+    #: shared with the fleet service broker, which prefills submitted
+    #: fleets from the same cache
+    _rebind = staticmethod(rebind_record)
 
     def submit(self, run: RunSpec) -> "Future[RunOutcome]":
         key = self.cache.key_for(run)

@@ -51,6 +51,7 @@ __all__ = [
     "BatchExecutor",
     "Executor",
     "ProcessPoolBackend",
+    "RemoteExecutor",
     "RunOutcome",
     "SerialExecutor",
     "ThreadedExecutor",
@@ -355,22 +356,112 @@ class ThreadedExecutor(_PoolBackend):
         return ThreadPoolExecutor(max_workers=width)
 
 
+class RemoteExecutor:
+    """Ship runs to a ``repro serve`` fleet service over HTTP.
+
+    The distributed backend: ``map`` submits the expanded runs as one
+    fleet (``POST /fleets`` with a run list), remote ``repro worker``
+    processes lease and evaluate them, and outcomes stream back — in
+    input order — by polling the fleet's record endpoint.  Worker
+    loss is invisible here: the broker re-queues expired leases and
+    deduplicates results by content identity, so this side only ever
+    sees each run finish once.  Records are bit-identical to local
+    backends (the worker runs the same compiled/batch path), and the
+    server's shared cache means a run any client ever submitted is
+    returned without recompute.
+
+    ``jobs`` is advisory — real parallelism is however many workers
+    are attached to the server.
+    """
+
+    name = "remote"
+
+    def __init__(self, jobs: int = 1, *, server: str = "",
+                 poll_s: float = 0.2, timeout_s: float = 60.0) -> None:
+        if not server:
+            raise ValueError(
+                "remote backend needs server='http://host:port' "
+                "(a running `python -m repro serve`)")
+        # Deferred import: repro.service imports the fleet layer, so
+        # a module-level import here would be a cycle.
+        from ..service.client import ServiceClient
+
+        self.jobs = max(1, jobs)
+        self.server = server
+        self.poll_s = poll_s
+        self._client = ServiceClient(server, timeout_s=timeout_s)
+
+    def submit(self, run: RunSpec) -> "Future[RunOutcome]":
+        future: "Future[RunOutcome]" = Future()
+        try:
+            outcome, = self.map([run])
+            future.set_result(outcome)
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+    def map(self, runs: Sequence[RunSpec]) -> Iterator[RunOutcome]:
+        runs = list(runs)
+        if not runs:
+            return
+        ack = self._client.submit_runs([run.to_dict() for run in runs])
+        next_index = 0
+        while next_index < len(runs):
+            slots, _ = self._client.slots(ack.fleet_id,
+                                          since=next_index)
+            yielded = 0
+            for slot in slots:
+                # Outcomes must stream in input order, so only the
+                # done-prefix is consumed; later finishers wait.
+                if slot["state"] != "done" or slot["record"] is None:
+                    break
+                yield RunOutcome(
+                    record=RunRecord.from_dict(slot["record"]),
+                    wall_s=float(slot["wall_s"]),
+                    cached=bool(slot["cached"]))
+                yielded += 1
+            next_index += yielded
+            if next_index < len(runs) and yielded == 0:
+                time.sleep(self.poll_s)
+
+    def close(self, *, cancel: bool = False) -> None:
+        # Leases self-expire server-side; nothing to release here.
+        pass
+
+    def __enter__(self) -> "RemoteExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 #: Backend registry keyed by CLI name
-#: (``--backend serial|batch|process|thread``).
+#: (``--backend serial|batch|process|thread|remote``).
 BACKENDS: dict[str, Callable[..., "Executor"]] = {
     SerialExecutor.name: SerialExecutor,
     BatchExecutor.name: BatchExecutor,
     ProcessPoolBackend.name: ProcessPoolBackend,
     ThreadedExecutor.name: ThreadedExecutor,
+    RemoteExecutor.name: RemoteExecutor,
 }
 
 
-def make_executor(backend: str, *, jobs: int = 1) -> "Executor":
-    """Instantiate a registered backend by name."""
+def make_executor(backend: str, *, jobs: int = 1,
+                  **options: Any) -> "Executor":
+    """Instantiate a registered backend by name.
+
+    ``options`` pass through to the backend constructor — the
+    ``remote`` backend needs ``server="http://host:port"``; the
+    in-process backends take none.
+    """
     try:
         factory = BACKENDS[backend]
     except KeyError:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
         ) from None
-    return factory(jobs=jobs)
+    try:
+        return factory(jobs=jobs, **options)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad options for backend {backend!r}: {exc}") from None

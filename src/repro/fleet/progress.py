@@ -1,0 +1,68 @@
+"""One progress code path for every sweep front-end.
+
+A finished run is announced exactly once, as a :class:`ProgressEvent`
+— the CLI renders it as a ``--progress`` line, the fleet service
+serializes it onto the ``GET /fleets/<id>/events`` NDJSON stream, and
+both views carry the same fields.  Before this module the CLI had its
+own print-based formatting; any new front-end (a TUI, a websocket)
+should consume :class:`ProgressEvent`, not re-derive it from records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from ..units import to_ms
+from .sweep import RunRecord
+
+__all__ = ["ProgressEvent", "print_progress"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One run finished: position in the fleet plus its headline metric."""
+
+    done: int                  #: runs finished so far (this one included)
+    total: int                 #: runs in the fleet
+    run_id: str
+    scenario: str
+    seed: int
+    mobile_mean_ms: float      #: the record's headline metric
+    cached: bool = False       #: served without recompute
+    wall_s: float = 0.0        #: this execution's wall time (0 if cached)
+
+    @classmethod
+    def from_record(cls, done: int, total: int, record: RunRecord, *,
+                    cached: bool = False,
+                    wall_s: float = 0.0) -> "ProgressEvent":
+        return cls(done=done, total=total, run_id=record.run_id,
+                   scenario=record.scenario, seed=record.seed,
+                   mobile_mean_ms=to_ms(record.summary.gap.mobile_mean_s),
+                   cached=cached, wall_s=wall_s)
+
+    def line(self) -> str:
+        """The human-readable ``--progress`` rendering."""
+        return (f"  [{self.done}/{self.total}] {self.run_id}: "
+                f"{self.mobile_mean_ms:.1f} ms mobile mean")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"done": self.done, "total": self.total,
+                "run_id": self.run_id, "scenario": self.scenario,
+                "seed": self.seed,
+                "mobile_mean_ms": self.mobile_mean_ms,
+                "cached": self.cached, "wall_s": self.wall_s}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProgressEvent":
+        """Decode ``to_dict`` output, or a service ``run`` wire event
+        (which wraps the same fields in an ``event``/``fleet_id``
+        envelope — extra keys are ignored)."""
+        known = {field.name for field in fields(cls)}
+        return cls(**{key: value for key, value in sorted(data.items())
+                      if key in known})
+
+
+def print_progress(done: int, total: int, record: RunRecord) -> None:
+    """The stock CLI progress callback (``--progress``)."""
+    print(ProgressEvent.from_record(done, total, record).line())

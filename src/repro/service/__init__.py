@@ -1,0 +1,70 @@
+"""Fleet service: the HTTP control plane and its remote workers.
+
+The distributed face of :mod:`repro.fleet` — everything the fleet
+layer runs in one process tree, this package runs across machines:
+
+* :class:`ReproService` / ``python -m repro serve`` — a stdlib-only
+  HTTP server exposing the scenario registry, fleet submission,
+  progress streaming (NDJSON), record retrieval, compare reports, a
+  ``/healthz`` probe, and the worker lease/result plane, all backed
+  by one :class:`~repro.service.broker.FleetBroker` and one shared
+  :class:`~repro.fleet.cache.ResultCache` (GC'd on a period via
+  :mod:`repro.fleet.gc`).
+* :func:`run_worker` / ``python -m repro worker`` — a pull-loop
+  worker leasing expanded :class:`~repro.fleet.sweep.RunSpec`\\ s and
+  evaluating them through the compiled/batch path.  Dead workers are
+  tolerated by lease expiry + content-identity dedup: their runs
+  simply return to the queue, and no run is ever counted twice.
+* :class:`ServiceClient` — typed ``urllib`` access to every route,
+  also the transport behind the ``remote`` executor backend
+  (:class:`repro.fleet.executors.RemoteExecutor`).
+* :mod:`~repro.service.contracts` — the versioned request/response
+  dataclasses every payload round-trips through.
+
+Quickstart::
+
+    python -m repro serve --root service-root --port 8750 &
+    python -m repro worker --server http://127.0.0.1:8750 &
+    python -m repro worker --server http://127.0.0.1:8750 &
+    python -m repro sweep --scenario klagenfurt \\
+        --set campaign.handover_interruption_s=0.03,0.06 \\
+        --backend remote --server http://127.0.0.1:8750 --out fleet-out
+
+The broker is deterministic and in-process-testable: records coming
+back through serve + workers are bit-identical to a serial
+:func:`~repro.fleet.runner.run_sweep` of the same sweep.
+"""
+
+from __future__ import annotations
+
+from .broker import FleetBroker
+from .client import ServiceClient, ServiceError, ServiceUnavailable
+from .contracts import (
+    API_VERSION,
+    ContractError,
+    FleetStatus,
+    Health,
+    LeaseGrant,
+    ResultAck,
+    ResultSubmission,
+    SubmitAck,
+)
+from .server import ReproService
+from .worker import run_worker
+
+__all__ = [
+    "API_VERSION",
+    "ContractError",
+    "FleetBroker",
+    "FleetStatus",
+    "Health",
+    "LeaseGrant",
+    "ReproService",
+    "ResultAck",
+    "ResultSubmission",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "SubmitAck",
+    "run_worker",
+]

@@ -1,0 +1,428 @@
+"""The fleet broker: a deterministic, lease-based run queue.
+
+One broker instance backs one ``repro serve`` process.  Clients submit
+fleets (a :class:`~repro.fleet.sweep.SweepSpec`, or an already-expanded
+run list from :class:`~repro.fleet.executors.RemoteExecutor`); workers
+lease runs one at a time and post :class:`~repro.fleet.sweep.RunRecord`
+results back.  All state is in memory and guarded by one lock — the
+durable artifacts are the fleet directories under ``root`` (written
+through :class:`~repro.fleet.store.FleetStore`, so a completed service
+fleet is byte-compatible with a locally-run one) and the shared
+:class:`~repro.fleet.cache.ResultCache`.
+
+Fault model (the reason leases exist):
+
+* A worker that dies mid-run simply never posts its result.  Its
+  lease expires after ``lease_ttl_s`` and the run returns to the
+  queue — the next ``lease()`` call from any worker picks it up.
+* Results are deduplicated by content identity: a run is *done* the
+  first time a verifying record lands, and every later submission for
+  it (a raced worker, a zombie finishing after its lease expired) is
+  acknowledged as a duplicate and discarded.  No run is ever counted
+  twice, and a record that does not verify against the leased run's
+  ``run_key`` is rejected outright.
+* Leasing order is deterministic — fleets in submission order, runs
+  in expansion order — so a drained queue always yields records
+  bit-identical to a serial :func:`~repro.fleet.runner.run_sweep` of
+  the same sweep.
+
+Time is injected (``clock``) so lease expiry is unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..fleet.cache import ResultCache, rebind_record
+from ..fleet.progress import ProgressEvent
+from ..fleet.store import FleetResult, FleetStore
+from ..fleet.sweep import (
+    RunRecord,
+    RunSpec,
+    SweepSpec,
+    record_matches_spec,
+)
+from .contracts import (
+    ContractError,
+    FleetStatus,
+    LeaseGrant,
+    ResultAck,
+    ResultSubmission,
+    SubmitAck,
+)
+
+__all__ = ["FleetBroker", "RUNS_JOB_MANIFEST"]
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+
+#: Manifest name for fleets submitted as raw run lists (no SweepSpec
+#: to re-expand, so they get this lightweight job file instead of a
+#: ``FleetStore`` manifest).
+RUNS_JOB_MANIFEST = "job.json"
+
+
+class _Slot:
+    """One run's live state inside the broker."""
+
+    __slots__ = ("run", "state", "attempt", "worker_id", "deadline",
+                 "record", "wall_s", "cached")
+
+    def __init__(self, run: RunSpec) -> None:
+        self.run = run
+        self.state = PENDING
+        self.attempt = 0          # lease generation counter
+        self.worker_id = ""
+        self.deadline = 0.0
+        self.record: Optional[RunRecord] = None
+        self.wall_s = 0.0
+        self.cached = False
+
+    def to_dict(self, *, with_record: bool = True) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "run_id": self.run.run_id, "state": self.state,
+            "cached": self.cached, "wall_s": self.wall_s,
+        }
+        if with_record:
+            payload["record"] = (self.record.to_dict()
+                                 if self.record is not None else None)
+        return payload
+
+
+class _Fleet:
+    """One submitted fleet: its slots, store, and event log."""
+
+    def __init__(self, fleet_id: str, slots: list[_Slot],
+                 store: FleetStore, sweep: Optional[SweepSpec],
+                 created: float) -> None:
+        self.fleet_id = fleet_id
+        self.slots = slots
+        self.store = store
+        self.sweep = sweep
+        self.created = created
+        self.finished = 0.0
+        self.complete = False
+        self.workers: set[str] = set()
+        self.events: list[dict[str, Any]] = []
+
+    def done_count(self) -> int:
+        return sum(1 for slot in self.slots if slot.state == DONE)
+
+
+class FleetBroker:
+    """In-memory queue + on-disk fleet stores behind the service."""
+
+    def __init__(self, root: Union[str, Path], *,
+                 cache: Optional[ResultCache] = None,
+                 lease_ttl_s: float = 60.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be positive")
+        self.root = Path(root)
+        self.cache = cache
+        self.lease_ttl_s = lease_ttl_s
+        self.clock = clock
+        self.requeues = 0          #: lifetime count of expired leases
+        self._fleets: dict[str, _Fleet] = {}
+        self._counter = 0
+        self._cond = threading.Condition()
+
+    # -- submission -------------------------------------------------------
+
+    def submit_sweep(self, sweep: SweepSpec) -> SubmitAck:
+        """Queue every run of ``sweep``; its directory becomes a full
+        fleet store (manifest + records + CSV once complete)."""
+        return self._submit(list(sweep.expand()), sweep)
+
+    def submit_runs(self, runs: Sequence[RunSpec]) -> SubmitAck:
+        """Queue already-expanded runs (the :class:`RemoteExecutor`
+        path).  Records persist per-run; without a sweep to re-expand
+        there is no manifest, just a lightweight job file."""
+        if not runs:
+            raise ValueError("fleet needs at least one run")
+        ids = [run.run_id for run in runs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate run ids in submitted fleet")
+        return self._submit(list(runs), None)
+
+    def _submit(self, runs: list[RunSpec],
+                sweep: Optional[SweepSpec]) -> SubmitAck:
+        with self._cond:
+            self._counter += 1
+            fleet_id = f"fleet-{self._counter:04d}"
+            store = FleetStore(self.root / fleet_id)
+            fleet = _Fleet(fleet_id, [_Slot(run) for run in runs],
+                           store, sweep, self.clock())
+            if sweep is not None:
+                store.begin(sweep, jobs=1, backend="service")
+            self._fleets[fleet_id] = fleet
+            cached = 0
+            if self.cache is not None:
+                # Warm-cache prefill: a run the shared cache has
+                # already seen never reaches the queue.
+                for slot in fleet.slots:
+                    key = slot.run.spec_key()
+                    record = self.cache.get(key)
+                    if record is None:
+                        continue
+                    slot.record = rebind_record(record, slot.run, key)
+                    slot.state = DONE
+                    slot.cached = True
+                    cached += 1
+                    store.write_record(slot.record)
+            fleet.events.append({"event": "submitted",
+                                 "fleet_id": fleet_id,
+                                 "total": len(fleet.slots),
+                                 "cached": cached})
+            done = 0
+            for slot in fleet.slots:
+                if slot.state == DONE and slot.record is not None:
+                    done += 1
+                    self._emit_run(fleet, done, slot)
+            if done == len(fleet.slots):
+                self._finalize(fleet)
+            self._cond.notify_all()
+            return SubmitAck(fleet_id=fleet_id, total=len(fleet.slots),
+                             cached=cached)
+
+    # -- leasing ----------------------------------------------------------
+
+    def lease(self, worker_id: str) -> Optional[LeaseGrant]:
+        """Check the next pending run out to ``worker_id``, or
+        ``None`` when the queue is empty.  Expired leases are swept
+        first, so a dead worker's runs are offered again here."""
+        now = self.clock()
+        with self._cond:
+            self._expire(now)
+            for fleet in self._fleets.values():
+                if fleet.complete:
+                    continue
+                for index, slot in enumerate(fleet.slots):
+                    if slot.state != PENDING:
+                        continue
+                    slot.state = LEASED
+                    slot.attempt += 1
+                    slot.worker_id = worker_id
+                    slot.deadline = now + self.lease_ttl_s
+                    lease_id = (f"{fleet.fleet_id}:{index}:"
+                                f"{slot.attempt}")
+                    return LeaseGrant(lease_id=lease_id,
+                                      fleet_id=fleet.fleet_id,
+                                      run=slot.run.to_dict(),
+                                      ttl_s=self.lease_ttl_s)
+        return None
+
+    def _expire(self, now: float) -> int:
+        """Re-queue every lease whose deadline has passed.  Caller
+        holds the lock."""
+        expired = 0
+        for fleet in self._fleets.values():
+            for slot in fleet.slots:
+                if slot.state == LEASED and now > slot.deadline:
+                    slot.state = PENDING
+                    expired += 1
+                    fleet.events.append({
+                        "event": "requeued",
+                        "fleet_id": fleet.fleet_id,
+                        "run_id": slot.run.run_id,
+                        "worker_id": slot.worker_id,
+                        "attempt": slot.attempt,
+                    })
+        if expired:
+            self.requeues += expired
+            self._cond.notify_all()
+        return expired
+
+    def expire_leases(self) -> int:
+        """Public sweep (the server calls this periodically); returns
+        how many leases were returned to the queue."""
+        with self._cond:
+            return self._expire(self.clock())
+
+    # -- results ----------------------------------------------------------
+
+    def submit_result(self, submission: ResultSubmission) -> ResultAck:
+        """Land one worker's result (or failure) for a leased run.
+
+        Dedup contract: the first *verifying* record wins; anything
+        after it — including a zombie worker finishing a run that was
+        re-queued and completed by someone else — is a duplicate, not
+        an error, and changes nothing.
+        """
+        fleet, index, _ = self._parse_lease(submission.lease_id)
+        with self._cond:
+            slot = fleet.slots[index]
+            if submission.error:
+                if slot.state == LEASED:
+                    # Fast requeue: don't wait out the lease for a run
+                    # the worker already knows it failed.
+                    slot.state = PENDING
+                    fleet.events.append({
+                        "event": "requeued",
+                        "fleet_id": fleet.fleet_id,
+                        "run_id": slot.run.run_id,
+                        "worker_id": slot.worker_id,
+                        "attempt": slot.attempt,
+                        "error": submission.error,
+                    })
+                    self._cond.notify_all()
+                    return ResultAck(accepted=False, requeued=True)
+                return ResultAck(accepted=False,
+                                 duplicate=slot.state == DONE)
+            if slot.state == DONE:
+                return ResultAck(accepted=False, duplicate=True)
+            assert submission.record is not None  # contract-validated
+            try:
+                record = RunRecord.from_dict(submission.record)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ContractError(
+                    f"result record does not parse: {exc}") from None
+            if not record_matches_spec(record, slot.run):
+                raise ValueError(
+                    f"record for {slot.run.run_id} does not verify "
+                    f"against the leased run's content identity")
+            slot.record = record
+            slot.state = DONE
+            slot.wall_s = submission.wall_s
+            slot.cached = False
+            fleet.workers.add(slot.worker_id)
+            if self.cache is not None:
+                self.cache.put(slot.run.spec_key(), record)
+            fleet.store.write_record(record)
+            self._emit_run(fleet, fleet.done_count(), slot)
+            if fleet.done_count() == len(fleet.slots):
+                self._finalize(fleet)
+            self._cond.notify_all()
+            return ResultAck(accepted=True)
+
+    def _parse_lease(self, lease_id: str) -> tuple[_Fleet, int, int]:
+        try:
+            fleet_id, index_s, attempt_s = lease_id.rsplit(":", 2)
+            fleet = self._fleets[fleet_id]
+            index, attempt = int(index_s), int(attempt_s)
+            fleet.slots[index]
+        except (KeyError, IndexError, ValueError):
+            raise LookupError(f"unknown lease {lease_id!r}") from None
+        return fleet, index, attempt
+
+    # -- completion -------------------------------------------------------
+
+    def _emit_run(self, fleet: _Fleet, done: int, slot: _Slot) -> None:
+        assert slot.record is not None
+        event = ProgressEvent.from_record(
+            done, len(fleet.slots), slot.record,
+            cached=slot.cached, wall_s=slot.wall_s).to_dict()
+        event["event"] = "run"
+        event["fleet_id"] = fleet.fleet_id
+        fleet.events.append(event)
+
+    def _finalize(self, fleet: _Fleet) -> None:
+        """Mark complete and write the durable artifacts.  Caller
+        holds the lock; every slot is DONE."""
+        fleet.finished = self.clock()
+        fleet.complete = True
+        records = tuple(slot.record for slot in fleet.slots
+                        if slot.record is not None)
+        if fleet.sweep is not None:
+            result = FleetResult(
+                sweep=fleet.sweep, records=records,
+                run_wall_s=tuple(s.wall_s for s in fleet.slots),
+                wall_s=fleet.finished - fleet.created,
+                jobs=max(1, len(fleet.workers)),
+                backend="service",
+                cached=tuple(s.cached for s in fleet.slots))
+            fleet.store.save(result, rewrite_records=False)
+        else:
+            job = {"kind": "runs", "fleet_id": fleet.fleet_id,
+                   "complete": True,
+                   "run_ids": [s.run.run_id for s in fleet.slots],
+                   "wall_s": fleet.finished - fleet.created}
+            (fleet.store.directory / RUNS_JOB_MANIFEST).write_text(
+                json.dumps(job, indent=2) + "\n")
+        fleet.events.append({"event": "complete",
+                             "fleet_id": fleet.fleet_id,
+                             "total": len(fleet.slots),
+                             "wall_s": fleet.finished - fleet.created})
+
+    # -- introspection ----------------------------------------------------
+
+    def _fleet(self, fleet_id: str) -> _Fleet:
+        try:
+            return self._fleets[fleet_id]
+        except KeyError:
+            raise LookupError(f"unknown fleet {fleet_id!r}") from None
+
+    def fleet_dir(self, fleet_id: str) -> Path:
+        with self._cond:
+            return self._fleet(fleet_id).store.directory
+
+    def fleet_ids(self) -> list[str]:
+        with self._cond:
+            return list(self._fleets)
+
+    def status(self, fleet_id: str) -> FleetStatus:
+        with self._cond:
+            fleet = self._fleet(fleet_id)
+            done = fleet.done_count()
+            leased = sum(1 for s in fleet.slots if s.state == LEASED)
+            wall = ((fleet.finished if fleet.complete else self.clock())
+                    - fleet.created)
+            return FleetStatus(
+                fleet_id=fleet_id,
+                state="complete" if fleet.complete else "running",
+                total=len(fleet.slots), done=done, leased=leased,
+                pending=len(fleet.slots) - done - leased,
+                cached=sum(1 for s in fleet.slots if s.cached),
+                workers=len(fleet.workers), wall_s=wall)
+
+    def statuses(self) -> list[FleetStatus]:
+        with self._cond:
+            ids = list(self._fleets)
+        return [self.status(fleet_id) for fleet_id in ids]
+
+    def running_count(self) -> int:
+        with self._cond:
+            return sum(1 for f in self._fleets.values()
+                       if not f.complete)
+
+    def slots(self, fleet_id: str, *,
+              since: int = 0) -> tuple[list[dict[str, Any]], bool]:
+        """Slot snapshots from index ``since`` on, plus the complete
+        flag — the polling surface ``RemoteExecutor`` streams from."""
+        with self._cond:
+            fleet = self._fleet(fleet_id)
+            return ([slot.to_dict() for slot in fleet.slots[since:]],
+                    fleet.complete)
+
+    def record(self, fleet_id: str, run_id: str) -> RunRecord:
+        with self._cond:
+            fleet = self._fleet(fleet_id)
+            for slot in fleet.slots:
+                if slot.run.run_id == run_id:
+                    if slot.record is None:
+                        raise LookupError(
+                            f"run {run_id!r} has no record yet")
+                    return slot.record
+        raise LookupError(f"unknown run {run_id!r} in {fleet_id!r}")
+
+    def events_since(self, fleet_id: str, index: int, *,
+                     wait_s: float = 0.0
+                     ) -> tuple[list[dict[str, Any]], bool]:
+        """Events from ``index`` on; with ``wait_s`` blocks until a
+        new event arrives, the fleet completes, or the wait times out
+        — the NDJSON streaming loop."""
+        deadline = time.monotonic() + wait_s
+        with self._cond:
+            fleet = self._fleet(fleet_id)
+            while (len(fleet.events) <= index and not fleet.complete):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(min(remaining, 0.5))
+            return list(fleet.events[index:]), fleet.complete

@@ -1,0 +1,160 @@
+"""HTTP client for the fleet service — ``urllib`` plus the contracts.
+
+One small class wraps every route the server exposes, translating
+HTTP errors into :class:`ServiceError` (which keeps the status code)
+and payloads into the typed contracts.  It deliberately imports
+nothing from the fleet layer: a worker host needs this module,
+:mod:`repro.service.contracts`, and the evaluation stack — not the
+whole orchestration surface.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from .contracts import (
+    FleetStatus,
+    Health,
+    LeaseGrant,
+    ResultAck,
+    ResultSubmission,
+    SubmitAck,
+)
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable"]
+
+
+class ServiceError(Exception):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceUnavailable(Exception):
+    """The server could not be reached at all."""
+
+
+class ServiceClient:
+    """Typed access to one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict[str, Any]] = None) -> Any:
+        body = (json.dumps(payload).encode()
+                if payload is not None else None)
+        request = Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {})
+        try:
+            with urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read() or b"null")
+        except HTTPError as exc:
+            detail = ""
+            try:
+                detail = str(json.loads(exc.read()).get("error", ""))
+            except (OSError, TypeError, ValueError, AttributeError):
+                pass
+            raise ServiceError(exc.code, detail or exc.reason) from None
+        except URLError as exc:
+            raise ServiceUnavailable(
+                f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    def _get(self, path: str) -> Any:
+        return self._request("GET", path)
+
+    def _post(self, path: str, payload: dict[str, Any]) -> Any:
+        return self._request("POST", path, payload)
+
+    # -- control plane ----------------------------------------------------
+
+    def health(self) -> Health:
+        return Health.from_dict(self._get("/healthz"))
+
+    def scenario_index(self) -> list[dict[str, Any]]:
+        return list(self._get("/scenarios")["scenarios"])
+
+    def scenario(self, name: str) -> dict[str, Any]:
+        return dict(self._get(f"/scenarios/{name}"))
+
+    def submit_sweep(self, sweep: dict[str, Any]) -> SubmitAck:
+        """Submit a :class:`~repro.fleet.sweep.SweepSpec` dict."""
+        return SubmitAck.from_dict(self._post("/fleets",
+                                              {"sweep": sweep}))
+
+    def submit_runs(self, runs: list[dict[str, Any]]) -> SubmitAck:
+        """Submit already-expanded :class:`RunSpec` dicts."""
+        return SubmitAck.from_dict(self._post("/fleets",
+                                              {"runs": runs}))
+
+    def fleets(self) -> list[FleetStatus]:
+        return [FleetStatus.from_dict(entry)
+                for entry in self._get("/fleets")["fleets"]]
+
+    def status(self, fleet_id: str) -> FleetStatus:
+        return FleetStatus.from_dict(self._get(f"/fleets/{fleet_id}"))
+
+    def slots(self, fleet_id: str, *,
+              since: int = 0) -> tuple[list[dict[str, Any]], bool]:
+        """Slot snapshots from ``since`` on, plus the complete flag."""
+        payload = self._get(f"/fleets/{fleet_id}/records?since={since}")
+        return list(payload["slots"]), bool(payload["complete"])
+
+    def record(self, fleet_id: str, run_id: str) -> dict[str, Any]:
+        return dict(self._get(f"/fleets/{fleet_id}/records/{run_id}"))
+
+    def events(self, fleet_id: str, *,
+               follow: bool = False) -> Iterator[dict[str, Any]]:
+        """The fleet's NDJSON event stream, decoded line by line."""
+        suffix = "?follow=1" if follow else ""
+        request = Request(
+            self.base_url + f"/fleets/{fleet_id}/events{suffix}")
+        try:
+            with urlopen(request, timeout=self.timeout_s) as response:
+                if response.status != 200:
+                    raise ServiceError(response.status, "event stream")
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except HTTPError as exc:
+            raise ServiceError(exc.code, exc.reason) from None
+        except URLError as exc:
+            raise ServiceUnavailable(
+                f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    def compare(self, a: str, b: str) -> dict[str, Any]:
+        return dict(self._get(f"/compare?a={a}&b={b}"))
+
+    # -- worker plane -----------------------------------------------------
+
+    def lease(self, worker_id: str) -> Optional[LeaseGrant]:
+        """Check out the next pending run; ``None`` = queue empty."""
+        payload = self._post("/lease", {"worker_id": worker_id})
+        if payload.get("run") is None:
+            return None
+        return LeaseGrant.from_dict(payload)
+
+    def post_result(self, lease_id: str, record: dict[str, Any], *,
+                    wall_s: float = 0.0) -> ResultAck:
+        submission = ResultSubmission(lease_id=lease_id, record=record,
+                                      wall_s=wall_s)
+        return ResultAck.from_dict(self._post("/results",
+                                              submission.to_dict()))
+
+    def post_failure(self, lease_id: str, error: str) -> ResultAck:
+        """Report a failed run so it re-queues without waiting out the
+        lease."""
+        submission = ResultSubmission(lease_id=lease_id, error=error)
+        return ResultAck.from_dict(self._post("/results",
+                                              submission.to_dict()))

@@ -1,0 +1,371 @@
+"""``python -m repro serve``: the HTTP control plane.
+
+A long-running, stdlib-only (:mod:`http.server`) service wrapping one
+:class:`~repro.service.broker.FleetBroker` and one shared result
+cache.  Many clients submit campaigns; many workers drain the queue;
+one warm cache serves them all.
+
+Routes (bodies are the dataclasses in
+:mod:`repro.service.contracts`, plus the fleet layer's own dict
+encodings):
+
+====================================  ======================================
+``GET  /healthz``                     version + uptime + cache stats
+``GET  /scenarios``                   the scenario registry
+``GET  /scenarios/<name>``            one spec as JSON
+``POST /fleets``                      submit ``{"sweep": ...}`` or
+                                      ``{"runs": [...]}``; 201 + SubmitAck
+``GET  /fleets``                      status list
+``GET  /fleets/<id>``                 one fleet's status
+``GET  /fleets/<id>/events``          NDJSON progress stream
+                                      (``?follow=1`` blocks until complete)
+``GET  /fleets/<id>/records``         slot snapshots (``?since=N``)
+``GET  /fleets/<id>/records/<run>``   one run record
+``POST /lease``                       worker checkout; 200 grant or 204
+``POST /results``                     worker return; ResultAck
+``GET  /compare?a=<id>&b=<id>``       cross-fleet comparison report
+====================================  ======================================
+
+Errors are JSON ``{"error": ...}``: 400 for malformed payloads, 404
+for unknown fleets/runs/leases, 409 for a result that fails content
+verification.  The server is deliberately thin — every decision lives
+in the broker, which is driven directly (no sockets) by the unit
+tests; these handlers only translate HTTP.
+
+Lifecycle chores run in a background thread: expired leases are swept
+even when no worker is polling, and — when configured — the shared
+cache is GC'd (:func:`repro.fleet.gc.run_gc`) on startup and every
+``gc_interval_s`` thereafter.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__, scenarios
+from ..fleet.cache import ResultCache
+from ..fleet.compare import compare_paths
+from ..fleet.gc import cache_usage, run_gc
+from ..fleet.sweep import RunSpec, SweepSpec
+from .broker import FleetBroker
+from .contracts import ContractError, Health, ResultSubmission
+
+__all__ = ["ReproService"]
+
+
+class _BadRequest(Exception):
+    """Maps to a 400 with its message."""
+
+
+class ReproService:
+    """One service instance: broker + cache + HTTP front-end.
+
+    ``port=0`` binds an ephemeral port (tests); ``url`` reports the
+    bound address either way.  ``start()`` serves from a daemon
+    thread, ``serve_forever()`` serves in the caller's thread (the
+    CLI); ``stop()`` shuts both down.
+    """
+
+    def __init__(self, root: Union[str, Path], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 lease_ttl_s: float = 60.0,
+                 gc_max_bytes: Optional[int] = None,
+                 gc_max_age_s: Optional[float] = None,
+                 gc_interval_s: float = 300.0) -> None:
+        self.root = Path(root)
+        self.cache_dir = (Path(cache_dir) if cache_dir is not None
+                          else self.root / "cache")
+        self.cache = ResultCache(self.cache_dir)
+        self.broker = FleetBroker(self.root / "fleets", cache=self.cache,
+                                  lease_ttl_s=lease_ttl_s)
+        self.gc_max_bytes = gc_max_bytes
+        self.gc_max_age_s = gc_max_age_s
+        self.gc_interval_s = gc_interval_s
+        self.started = time.monotonic()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        # Reclaim a crashed writer's staging files (and apply any
+        # configured limits) before accepting traffic.
+        self.last_gc = run_gc(self.cache_dir,
+                              max_bytes=gc_max_bytes,
+                              max_age_s=gc_max_age_s)
+        self.httpd = _ServiceHTTPServer((host, port), _Handler)
+        self.httpd.service = self
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started
+
+    def start(self) -> "ReproService":
+        """Serve from daemon threads; returns self for chaining."""
+        for target in (self.httpd.serve_forever, self._chores):
+            thread = threading.Thread(target=target, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve in the calling thread (the CLI foreground mode)."""
+        chores = threading.Thread(target=self._chores, daemon=True)
+        chores.start()
+        self._threads.append(chores)
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def _chores(self) -> None:
+        """Periodic upkeep: lease expiry sweeps and (if configured)
+        cache GC, until stopped."""
+        interval = max(1.0, min(self.broker.lease_ttl_s / 2.0,
+                                self.gc_interval_s or 60.0))
+        elapsed = 0.0
+        while not self._stop.wait(interval):
+            self.broker.expire_leases()
+            elapsed += interval
+            if (self.gc_interval_s and elapsed >= self.gc_interval_s
+                    and (self.gc_max_bytes is not None
+                         or self.gc_max_age_s is not None)):
+                elapsed = 0.0
+                self.last_gc = run_gc(self.cache_dir,
+                                      max_bytes=self.gc_max_bytes,
+                                      max_age_s=self.gc_max_age_s)
+
+    # -- payload builders -------------------------------------------------
+
+    def health(self) -> Health:
+        return Health(version=__version__, uptime_s=self.uptime_s,
+                      fleets=len(self.broker.fleet_ids()),
+                      running=self.broker.running_count(),
+                      cache=cache_usage(self.cache_dir).to_dict())
+
+    def scenario_index(self) -> list[dict[str, Any]]:
+        rows = []
+        for name in scenarios.names():
+            spec = scenarios.get(name)
+            rows.append({"name": name,
+                         "description": spec.description,
+                         "sites": len(spec.radio.sites),
+                         "systems": len(spec.systems)})
+        return rows
+
+    def submit(self, body: Any) -> tuple[int, dict[str, Any]]:
+        """Parse and queue one POST /fleets body."""
+        if not isinstance(body, dict):
+            raise _BadRequest("fleet submission must be a JSON object")
+        try:
+            if "sweep" in body:
+                sweep = SweepSpec.from_dict(body["sweep"])
+                ack = self.broker.submit_sweep(sweep)
+            elif "runs" in body:
+                runs = [RunSpec.from_dict(run) for run in body["runs"]]
+                ack = self.broker.submit_runs(runs)
+            else:
+                raise _BadRequest(
+                    "fleet submission needs a 'sweep' or 'runs' key")
+        except (KeyError, TypeError, ValueError) as exc:
+            message = exc.args[0] if isinstance(exc, KeyError) else exc
+            raise _BadRequest(f"invalid fleet submission: {message}") \
+                from None
+        return 201, ack.to_dict()
+
+    def compare(self, a: str, b: str) -> dict[str, Any]:
+        dirs = []
+        for fleet_id in (a, b):
+            status = self.broker.status(fleet_id)   # LookupError -> 404
+            if not status.complete:
+                raise _BadRequest(
+                    f"fleet {fleet_id!r} is still running")
+            dirs.append(self.broker.fleet_dir(fleet_id))
+        try:
+            return compare_paths(dirs).to_dict()
+        except (FileNotFoundError, KeyError, ValueError) as exc:
+            raise _BadRequest(f"cannot compare: {exc}") from None
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: ReproService
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _ServiceHTTPServer
+    server_version = f"repro-serve/{__version__}"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Quiet by default: the CLI prints the bound URL; per-request
+        # noise would swamp worker polling.
+        pass
+
+    @property
+    def service(self) -> ReproService:
+        return self.server.service
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _json(self, status: int, payload: Any) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._json(status, {"error": message})
+
+    def _read_json(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length)
+            return json.loads(raw or b"null")
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(f"body is not valid JSON: {exc}") from None
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query)
+        try:
+            handled = self._route(method, parts, query)
+        except _BadRequest as exc:
+            self._error(400, str(exc))
+        except ContractError as exc:
+            self._error(400, str(exc))
+        except LookupError as exc:
+            self._error(404, str(exc))
+        except ValueError as exc:
+            # The broker's content-verification rejection.
+            self._error(409, str(exc))
+        except BrokenPipeError:   # client went away mid-stream
+            pass
+        else:
+            if not handled:
+                self._error(404, f"no route {method} {url.path}")
+
+    def do_GET(self) -> None:      # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:     # noqa: N802 (http.server API)
+        self._dispatch("POST")
+
+    # -- routing ----------------------------------------------------------
+
+    def _route(self, method: str, parts: list[str],
+               query: dict[str, list[str]]) -> bool:
+        service = self.service
+        if method == "GET":
+            if parts == ["healthz"]:
+                self._json(200, service.health().to_dict())
+            elif parts == ["scenarios"]:
+                self._json(200, {"scenarios": service.scenario_index()})
+            elif len(parts) == 2 and parts[0] == "scenarios":
+                try:
+                    spec = scenarios.get(parts[1])
+                except KeyError:
+                    raise LookupError(
+                        f"unknown scenario {parts[1]!r}") from None
+                self._json(200, spec.to_dict())
+            elif parts == ["fleets"]:
+                self._json(200, {"fleets": [
+                    status.to_dict()
+                    for status in service.broker.statuses()]})
+            elif len(parts) == 2 and parts[0] == "fleets":
+                self._json(200,
+                           service.broker.status(parts[1]).to_dict())
+            elif (len(parts) == 3 and parts[0] == "fleets"
+                    and parts[2] == "events"):
+                self._stream_events(
+                    parts[1], follow=query.get("follow", ["0"])[0]
+                    not in ("0", "", "false"))
+            elif (len(parts) == 3 and parts[0] == "fleets"
+                    and parts[2] == "records"):
+                try:
+                    since = int(query.get("since", ["0"])[0])
+                except ValueError:
+                    raise _BadRequest("since must be an integer") \
+                        from None
+                slots, complete = service.broker.slots(parts[1],
+                                                       since=since)
+                self._json(200, {"fleet_id": parts[1], "since": since,
+                                 "complete": complete, "slots": slots})
+            elif (len(parts) == 4 and parts[0] == "fleets"
+                    and parts[2] == "records"):
+                record = service.broker.record(parts[1], parts[3])
+                self._json(200, record.to_dict())
+            elif parts == ["compare"]:
+                a = query.get("a", [""])[0]
+                b = query.get("b", [""])[0]
+                if not a or not b:
+                    raise _BadRequest("compare needs ?a=<id>&b=<id>")
+                self._json(200, service.compare(a, b))
+            else:
+                return False
+            return True
+        if method == "POST":
+            if parts == ["fleets"]:
+                status, payload = service.submit(self._read_json())
+                self._json(status, payload)
+            elif parts == ["lease"]:
+                body = self._read_json()
+                if not isinstance(body, dict):
+                    raise _BadRequest("lease body must be an object")
+                worker = str(body.get("worker_id", "")) or "anonymous"
+                grant = service.broker.lease(worker)
+                if grant is None:
+                    self._json(200, {"run": None})
+                else:
+                    self._json(200, grant.to_dict())
+            elif parts == ["results"]:
+                body = self._read_json()
+                if not isinstance(body, dict):
+                    raise _BadRequest("result body must be an object")
+                submission = ResultSubmission.from_dict(body)
+                ack = self.service.broker.submit_result(submission)
+                self._json(200, ack.to_dict())
+            else:
+                return False
+            return True
+        return False
+
+    def _stream_events(self, fleet_id: str, *, follow: bool) -> None:
+        # Touch the fleet first so an unknown id is a clean 404, not a
+        # half-started stream.
+        self.service.broker.status(fleet_id)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        index = 0
+        while True:
+            events, complete = self.service.broker.events_since(
+                fleet_id, index, wait_s=10.0 if follow else 0.0)
+            for event in events:
+                self.wfile.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode())
+            self.wfile.flush()
+            index += len(events)
+            if not follow or (complete and not events):
+                break

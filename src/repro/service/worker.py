@@ -1,0 +1,120 @@
+"""``python -m repro worker``: a remote executor process.
+
+The worker is a small pull loop against one ``repro serve`` instance:
+lease a run, evaluate it through the existing compiled/batch path
+(one :class:`~repro.fleet.executors.BatchExecutor` is kept for the
+whole session, so consecutive runs sharing a build key reuse one
+compiled world), POST the record back, repeat.  Determinism needs no
+help here — a :class:`~repro.fleet.sweep.RunRecord` is a pure
+function of ``(spec, seed, density)``, so *which* worker evaluates a
+run never shows in the record.
+
+Failure handling mirrors the broker's fault model: an evaluation
+error is reported (the run re-queues immediately for another worker),
+and a worker that dies silently just lets its lease expire.  The loop
+exits on its own when the server stays unreachable or — with
+``max_idle_s`` — when the queue stays empty long enough, so CI can
+run workers to completion without process-management gymnastics.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from ..fleet.compiled import COMPILED_DIR, CompiledScenarioCache
+from ..fleet.executors import BatchExecutor
+from ..fleet.sweep import RunSpec
+from .client import ServiceClient, ServiceError, ServiceUnavailable
+
+__all__ = ["run_worker"]
+
+#: Consecutive failed connection attempts before the worker gives up.
+MAX_UNREACHABLE = 5
+
+
+def run_worker(server: str, *, worker_id: str = "",
+               poll_s: float = 0.5,
+               max_idle_s: Optional[float] = None,
+               max_runs: Optional[int] = None,
+               cache_dir: Optional[Union[str, Path]] = None,
+               log: Optional[Callable[[str], None]] = None) -> int:
+    """Drain runs from ``server`` until told (or left) to stop.
+
+    Returns the number of runs this worker completed.  ``max_idle_s``
+    bounds how long an empty queue is polled before exiting;
+    ``max_runs`` caps the session; ``cache_dir`` adds a local on-disk
+    compiled-scenario tier so repeated builds survive worker restarts.
+    """
+    worker_id = worker_id or f"worker-{os.getpid()}"
+    say = log if log is not None else lambda message: None
+    client = ServiceClient(server)
+    compiled = (CompiledScenarioCache(Path(cache_dir) / COMPILED_DIR)
+                if cache_dir is not None else None)
+    executor = BatchExecutor(compiled=compiled)
+    completed = 0
+    unreachable = 0
+    idle_since: Optional[float] = None
+    try:
+        while True:
+            if max_runs is not None and completed >= max_runs:
+                say(f"{worker_id}: max-runs reached, exiting")
+                break
+            try:
+                grant = client.lease(worker_id)
+            except ServiceUnavailable:
+                unreachable += 1
+                if unreachable >= MAX_UNREACHABLE:
+                    say(f"{worker_id}: server unreachable, exiting")
+                    break
+                time.sleep(poll_s)
+                continue
+            except ServiceError as exc:
+                say(f"{worker_id}: lease rejected ({exc}), exiting")
+                break
+            unreachable = 0
+            if grant is None:
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if (max_idle_s is not None
+                        and now - idle_since >= max_idle_s):
+                    say(f"{worker_id}: idle for {max_idle_s:g} s, "
+                        f"exiting")
+                    break
+                time.sleep(poll_s)
+                continue
+            idle_since = None
+            run = RunSpec.from_dict(grant.run)
+            try:
+                outcome, = executor.map([run])
+            except Exception as exc:   # report, requeue, keep serving
+                say(f"{worker_id}: {run.run_id} failed: {exc}")
+                try:
+                    client.post_failure(
+                        grant.lease_id,
+                        f"{type(exc).__name__}: {exc}")
+                except (ServiceError, ServiceUnavailable):
+                    pass
+                continue
+            try:
+                ack = client.post_result(grant.lease_id,
+                                         outcome.record.to_dict(),
+                                         wall_s=outcome.wall_s)
+            except ServiceError as exc:
+                say(f"{worker_id}: result for {run.run_id} rejected "
+                    f"({exc})")
+                continue
+            except ServiceUnavailable:
+                say(f"{worker_id}: server lost mid-result, exiting")
+                break
+            completed += 1
+            state = ("ok" if ack.accepted
+                     else "duplicate" if ack.duplicate else "dropped")
+            say(f"{worker_id}: {run.run_id} done in "
+                f"{outcome.wall_s:.2f} s ({state})")
+    finally:
+        executor.close()
+    return completed

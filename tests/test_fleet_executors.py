@@ -37,12 +37,23 @@ def small_sweep(**kwargs) -> SweepSpec:
 # Registry
 # ---------------------------------------------------------------------------
 
-def test_registry_names_the_four_backends():
-    assert set(BACKENDS) == {"serial", "batch", "process", "thread"}
+def test_registry_names_the_five_backends():
+    assert set(BACKENDS) == {"serial", "batch", "process", "thread",
+                             "remote"}
     assert isinstance(make_executor("serial"), SerialExecutor)
     assert isinstance(make_executor("batch"), BatchExecutor)
     assert isinstance(make_executor("process", jobs=2), ProcessPoolBackend)
     assert isinstance(make_executor("thread", jobs=2), ThreadedExecutor)
+
+
+def test_remote_backend_requires_a_server_url():
+    with pytest.raises(ValueError, match="server"):
+        make_executor("remote")
+
+
+def test_make_executor_rejects_unknown_options():
+    with pytest.raises(ValueError, match="bad options"):
+        make_executor("serial", frobnicate=True)
 
 
 def test_unknown_backend_is_clean_error():

@@ -1,0 +1,534 @@
+"""Tests for the fleet service: wire contracts, the lease-based
+broker (fake clock — order, expiry, dedup, verification, cache
+prefill), the HTTP server + client + worker end to end on localhost,
+and the CLI surface.  The load-bearing property throughout: records
+coming back through serve + workers are bit-identical to a serial
+``run_sweep`` of the same sweep, including after a worker dies
+mid-fleet."""
+
+import json
+import threading
+import time
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+import pytest
+
+import repro
+from repro.__main__ import main
+from repro.fleet import (
+    FleetStore,
+    ProgressEvent,
+    RemoteExecutor,
+    ResultCache,
+    SweepAxis,
+    SweepSpec,
+    run_sweep,
+)
+from repro.scenarios import klagenfurt
+from repro.service import (
+    API_VERSION,
+    ContractError,
+    FleetBroker,
+    ReproService,
+    ServiceClient,
+    ServiceError,
+    run_worker,
+)
+from repro.service.broker import RUNS_JOB_MANIFEST
+from repro.service.contracts import (
+    FleetStatus,
+    Health,
+    LeaseGrant,
+    ResultAck,
+    ResultSubmission,
+    SubmitAck,
+)
+
+AXIS = "campaign.handover_interruption_s"
+DENSITY = 2.0
+
+
+def small_sweep(**kwargs) -> SweepSpec:
+    defaults = dict(
+        bases=(klagenfurt(),),
+        axes=(SweepAxis(AXIS, (30e-3, 60e-3)),),
+        seeds=(42,),
+        density=DENSITY,
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return small_sweep()
+
+
+@pytest.fixture(scope="module")
+def runs(sweep):
+    return sweep.expand()
+
+
+@pytest.fixture(scope="module")
+def serial_result(sweep):
+    """The bit-identity baseline every distributed path must match."""
+    return run_sweep(sweep, executor="serial")
+
+
+@pytest.fixture(scope="module")
+def serial_records(serial_result):
+    return {record.run_id: record for record in serial_result.records}
+
+
+# ---------------------------------------------------------------------------
+# Contracts
+# ---------------------------------------------------------------------------
+
+def test_contracts_round_trip_through_dicts():
+    payloads = [
+        Health(version="1.1.0", uptime_s=3.5, fleets=2, running=1,
+               cache={"entries": 4}),
+        SubmitAck(fleet_id="fleet-0001", total=4, cached=1),
+        FleetStatus(fleet_id="fleet-0001", state="running", total=4,
+                    done=1, leased=2, pending=1, cached=0, workers=2,
+                    wall_s=1.25),
+        LeaseGrant(lease_id="fleet-0001:0:1", fleet_id="fleet-0001",
+                   run={"run_id": "r0"}, ttl_s=60.0),
+        ResultSubmission(lease_id="fleet-0001:0:1",
+                         record={"run_id": "r0"}, wall_s=0.5),
+        ResultSubmission(lease_id="fleet-0001:0:1", error="boom"),
+        ResultAck(accepted=True),
+        ResultAck(accepted=False, duplicate=True),
+    ]
+    for payload in payloads:
+        data = json.loads(json.dumps(payload.to_dict()))
+        assert data["api"] == API_VERSION
+        assert type(payload).from_dict(data) == payload
+
+
+def test_contracts_reject_newer_api_versions():
+    data = SubmitAck(fleet_id="f", total=1, cached=0).to_dict()
+    data["api"] = API_VERSION + 1
+    with pytest.raises(ContractError, match="api version"):
+        SubmitAck.from_dict(data)
+
+
+def test_contracts_reject_missing_fields():
+    with pytest.raises(ContractError, match="missing"):
+        SubmitAck.from_dict({"api": API_VERSION, "total": 3})
+
+
+def test_result_submission_needs_exactly_one_of_record_and_error():
+    with pytest.raises(ContractError, match="exactly one"):
+        ResultSubmission(lease_id="x")
+    with pytest.raises(ContractError, match="exactly one"):
+        ResultSubmission(lease_id="x", record={"run_id": "r"},
+                         error="boom")
+
+
+def test_fleet_status_rejects_unknown_states():
+    with pytest.raises(ContractError, match="state"):
+        FleetStatus(fleet_id="f", state="paused", total=1, done=0,
+                    leased=0, pending=1, cached=0, workers=0, wall_s=0.0)
+
+
+def test_progress_event_round_trip_and_line(serial_records):
+    record = next(iter(serial_records.values()))
+    event = ProgressEvent.from_record(1, 2, record, wall_s=0.25)
+    assert event.line().startswith(f"  [1/2] {record.run_id}: ")
+    assert event.line().endswith("ms mobile mean")
+    assert ProgressEvent.from_dict(event.to_dict()) == event
+
+
+def test_progress_event_decodes_service_wire_envelope(serial_records):
+    record = next(iter(serial_records.values()))
+    event = ProgressEvent.from_record(2, 2, record, cached=True)
+    wire = dict(event.to_dict(), event="run", fleet_id="fleet-0001")
+    assert ProgressEvent.from_dict(wire) == event
+
+
+# ---------------------------------------------------------------------------
+# Broker (fake clock, no sockets)
+# ---------------------------------------------------------------------------
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def broker(tmp_path, clock):
+    return FleetBroker(tmp_path / "fleets", lease_ttl_s=10.0,
+                       clock=clock)
+
+
+def _post(broker, grant, record, wall_s=0.01):
+    return broker.submit_result(ResultSubmission(
+        lease_id=grant.lease_id, record=record.to_dict(),
+        wall_s=wall_s))
+
+
+def test_broker_leases_in_expansion_order(broker, sweep, runs):
+    broker.submit_sweep(sweep)
+    granted = [broker.lease("w1").run["run_id"],
+               broker.lease("w2").run["run_id"]]
+    assert granted == [run.run_id for run in runs]
+    assert broker.lease("w3") is None   # queue drained
+
+
+def test_broker_completes_a_fleet(broker, sweep, runs, serial_records):
+    ack = broker.submit_sweep(sweep)
+    assert ack.total == 2 and ack.cached == 0
+    for _ in runs:
+        grant = broker.lease("w1")
+        result = _post(broker, grant,
+                       serial_records[grant.run["run_id"]])
+        assert result.accepted
+    status = broker.status(ack.fleet_id)
+    assert status.complete and status.done == 2 and status.workers == 1
+    # The durable fleet directory is a normal, loadable fleet store.
+    loaded = FleetStore(broker.fleet_dir(ack.fleet_id)).load()
+    assert loaded.backend == "service"
+    assert [r.to_dict() for r in loaded.records] == \
+        [serial_records[run.run_id].to_dict() for run in runs]
+
+
+def test_broker_expires_leases_and_requeues(broker, sweep, clock,
+                                            serial_records):
+    ack = broker.submit_sweep(sweep)
+    dead = broker.lease("doomed")
+    clock.advance(11.0)   # past the 10 s TTL
+    assert broker.expire_leases() == 1
+    assert broker.requeues == 1
+    # The same run comes back with a new lease generation.
+    grant = broker.lease("healthy")
+    assert grant.run["run_id"] == dead.run["run_id"]
+    assert grant.lease_id != dead.lease_id
+    events = broker.events_since(ack.fleet_id, 0)[0]
+    assert any(event["event"] == "requeued" for event in events)
+
+
+def test_broker_accepts_a_zombies_late_result_only_once(
+        broker, sweep, clock, serial_records):
+    broker.submit_sweep(sweep)
+    zombie = broker.lease("zombie")
+    run_id = zombie.run["run_id"]
+    clock.advance(11.0)
+    fresh = broker.lease("fresh")    # expiry sweep hands the run over
+    assert fresh.run["run_id"] == run_id
+    assert _post(broker, fresh, serial_records[run_id]).accepted
+    # The zombie finishing afterwards is a duplicate, not an error,
+    # and nothing changes.
+    late = _post(broker, zombie, serial_records[run_id])
+    assert not late.accepted and late.duplicate
+
+
+def test_broker_rejects_records_that_fail_verification(
+        broker, sweep, runs, serial_records):
+    broker.submit_sweep(sweep)
+    grant = broker.lease("w1")
+    other = runs[1] if grant.run["run_id"] == runs[0].run_id else runs[0]
+    with pytest.raises(ValueError, match="content identity"):
+        _post(broker, grant, serial_records[other.run_id])
+    # The slot is still leased to w1; nothing was stored.
+    assert broker.status(grant.fleet_id).done == 0
+
+
+def test_broker_rejects_unparseable_records(broker, sweep):
+    broker.submit_sweep(sweep)
+    grant = broker.lease("w1")
+    with pytest.raises(ContractError, match="parse"):
+        broker.submit_result(ResultSubmission(
+            lease_id=grant.lease_id, record={"run_id": "garbage"}))
+
+
+def test_broker_requeues_reported_failures_immediately(
+        broker, sweep, serial_records):
+    broker.submit_sweep(sweep)
+    grant = broker.lease("w1")
+    ack = broker.submit_result(ResultSubmission(
+        lease_id=grant.lease_id, error="RuntimeError: boom"))
+    assert ack.requeued and not ack.accepted
+    # No clock advance needed: the run is immediately leasable again.
+    again = broker.lease("w2")
+    assert again.run["run_id"] == grant.run["run_id"]
+
+
+def test_broker_prefills_from_the_shared_cache(tmp_path, clock, sweep,
+                                               runs, serial_records):
+    cache = ResultCache(tmp_path / "cache")
+    for run in runs:
+        cache.put(run.spec_key(), serial_records[run.run_id])
+    broker = FleetBroker(tmp_path / "fleets", cache=cache, clock=clock)
+    ack = broker.submit_sweep(sweep)
+    assert ack.cached == 2
+    status = broker.status(ack.fleet_id)
+    assert status.complete and status.cached == 2
+    assert broker.lease("w1") is None   # nothing left to do
+    loaded = FleetStore(broker.fleet_dir(ack.fleet_id)).load()
+    assert [r.to_dict() for r in loaded.records] == \
+        [serial_records[run.run_id].to_dict() for run in runs]
+
+
+def test_broker_validates_run_list_submissions(broker, runs):
+    with pytest.raises(ValueError, match="at least one"):
+        broker.submit_runs([])
+    with pytest.raises(ValueError, match="duplicate"):
+        broker.submit_runs([runs[0], runs[0]])
+
+
+def test_broker_unknown_ids_raise_lookup_errors(broker):
+    with pytest.raises(LookupError):
+        broker.status("fleet-9999")
+    with pytest.raises(LookupError):
+        broker.submit_result(ResultSubmission(
+            lease_id="fleet-9999:0:1", record={"run_id": "r"}))
+
+
+def test_broker_rejects_nonpositive_ttl(tmp_path):
+    with pytest.raises(ValueError, match="positive"):
+        FleetBroker(tmp_path, lease_ttl_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# HTTP end to end: serve + client + workers on localhost
+# ---------------------------------------------------------------------------
+
+def _start_worker(url, **kwargs):
+    options = dict(poll_s=0.05, max_idle_s=1.0)
+    options.update(kwargs)
+    thread = threading.Thread(target=run_worker, args=(url,),
+                              kwargs=options, daemon=True)
+    thread.start()
+    return thread
+
+
+def _wait_complete(client, fleet_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = client.status(fleet_id)
+        if status.complete:
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"fleet {fleet_id} did not complete")
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    svc = ReproService(tmp_path_factory.mktemp("service-root"), port=0)
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service.url)
+
+
+@pytest.fixture(scope="module")
+def completed_fleet(service, client, sweep):
+    """One sweep submitted over HTTP and drained by two workers."""
+    ack = client.submit_sweep(sweep.to_dict())
+    workers = [_start_worker(service.url, worker_id=f"e2e-{i}")
+               for i in range(2)]
+    status = _wait_complete(client, ack.fleet_id)
+    for worker in workers:
+        worker.join(timeout=30.0)
+    return ack.fleet_id, status
+
+
+def test_e2e_records_are_bit_identical_to_serial(
+        completed_fleet, client, runs, serial_records):
+    fleet_id, status = completed_fleet
+    assert status.done == 2 and status.cached == 0
+    for run in runs:
+        assert client.record(fleet_id, run.run_id) == \
+            serial_records[run.run_id].to_dict()
+
+
+def test_e2e_fleet_directory_matches_a_local_one(
+        completed_fleet, service, runs, serial_records):
+    fleet_id, _ = completed_fleet
+    loaded = FleetStore(service.broker.fleet_dir(fleet_id)).load()
+    assert loaded.backend == "service"
+    assert [r.to_dict() for r in loaded.records] == \
+        [serial_records[run.run_id].to_dict() for run in runs]
+
+
+def test_e2e_event_stream_is_ordered_ndjson(completed_fleet, client):
+    fleet_id, _ = completed_fleet
+    events = list(client.events(fleet_id))
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "submitted" and kinds[-1] == "complete"
+    run_events = [e for e in events if e["event"] == "run"]
+    assert [e["done"] for e in run_events] == [1, 2]
+    assert all(e["total"] == 2 and "mobile_mean_ms" in e
+               for e in run_events)
+
+
+def test_e2e_follow_streams_until_complete(completed_fleet, client):
+    fleet_id, _ = completed_fleet
+    events = list(client.events(fleet_id, follow=True))
+    assert events[-1]["event"] == "complete"
+
+
+def test_healthz_reports_version_uptime_and_cache(service, client):
+    health = client.health()
+    assert health.version == repro.__version__
+    assert health.uptime_s > 0
+    assert health.cache["directory"] == str(service.cache_dir)
+    assert "entries" in health.cache
+
+
+def test_startup_gc_ran(service):
+    assert service.last_gc.directory == str(service.cache_dir)
+
+
+def test_scenario_routes(client):
+    names = [entry["name"] for entry in client.scenario_index()]
+    assert "klagenfurt" in names
+    assert client.scenario("klagenfurt")["name"] == "klagenfurt"
+    with pytest.raises(ServiceError) as exc_info:
+        client.scenario("atlantis")
+    assert exc_info.value.status == 404
+
+
+def test_fleet_listing_includes_the_completed_fleet(
+        completed_fleet, client):
+    fleet_id, _ = completed_fleet
+    assert fleet_id in [status.fleet_id for status in client.fleets()]
+
+
+def test_malformed_submissions_are_400s(client):
+    for body in [{"sweep": {"bases": "nonsense"}},
+                 {"runs": []},
+                 {"neither": True}]:
+        with pytest.raises(ServiceError) as exc_info:
+            client._post("/fleets", body)
+        assert exc_info.value.status == 400
+
+
+def test_invalid_json_body_is_a_400(service):
+    request = Request(service.url + "/fleets", data=b"{not json",
+                      method="POST")
+    with pytest.raises(HTTPError) as exc_info:
+        urlopen(request, timeout=10.0)
+    assert exc_info.value.code == 400
+
+
+def test_unknown_routes_and_fleets_are_404s(client):
+    with pytest.raises(ServiceError) as exc_info:
+        client.status("fleet-9999")
+    assert exc_info.value.status == 404
+    with pytest.raises(ServiceError) as exc_info:
+        client._get("/no/such/route")
+    assert exc_info.value.status == 404
+
+
+def test_compare_two_complete_fleets_over_http(
+        completed_fleet, service, client, sweep):
+    first_id, _ = completed_fleet
+    # Resubmitting the same sweep hits the shared cache end to end:
+    # the second fleet completes at submit time, no workers involved.
+    ack = client.submit_sweep(sweep.to_dict())
+    assert ack.cached == ack.total == 2
+    report = client.compare(first_id, ack.fleet_id)
+    assert report["deltas"]
+    pcts = [metric["pct"] for variant in report["deltas"]
+            for metric in variant["metrics"]]
+    assert pcts and all(pct == 0.0 for pct in pcts)
+
+
+def test_compare_refuses_a_running_fleet(client, runs):
+    ack = client.submit_runs([runs[0].to_dict()])
+    with pytest.raises(ServiceError) as exc_info:
+        client.compare(ack.fleet_id, ack.fleet_id)
+    assert exc_info.value.status == 400
+
+
+def test_remote_executor_through_run_sweep(
+        completed_fleet, service, sweep, serial_result, tmp_path):
+    # The cache is warm from the e2e fleet, so the remote backend's
+    # full submit -> poll -> collect path runs without local compute.
+    result = run_sweep(sweep,
+                       executor=RemoteExecutor(server=service.url),
+                       out=str(tmp_path / "remote-out"))
+    assert result.backend == "remote"
+    assert result.cached_count == 2
+    assert [r.to_dict() for r in result.records] == \
+        [r.to_dict() for r in serial_result.records]
+    # The run-list fleet left a lightweight job manifest server-side.
+    job_files = list(service.broker.root.glob(f"*/{RUNS_JOB_MANIFEST}"))
+    assert job_files
+
+
+# ---------------------------------------------------------------------------
+# Worker death mid-fleet: lease expiry + requeue, still bit-identical
+# ---------------------------------------------------------------------------
+
+def test_worker_death_requeues_and_stays_bit_identical(
+        tmp_path, runs, serial_records):
+    service = ReproService(tmp_path / "root", port=0, lease_ttl_s=0.5)
+    service.start()
+    try:
+        client = ServiceClient(service.url)
+        ack = client.submit_runs([run.to_dict() for run in runs])
+        # A worker leases the first run and dies without posting.
+        doomed = client.lease("doomed")
+        assert doomed is not None
+        # A healthy worker drains the fleet; it picks up the doomed
+        # run once the 0.5 s lease expires.
+        worker = _start_worker(service.url, worker_id="healthy",
+                               max_idle_s=5.0)
+        status = _wait_complete(client, ack.fleet_id)
+        worker.join(timeout=60.0)
+
+        assert status.done == 2
+        assert status.workers == 1          # only the healthy one landed
+        assert service.broker.requeues >= 1
+        events = service.broker.events_since(ack.fleet_id, 0)[0]
+        assert any(e["event"] == "requeued" for e in events)
+        # No double counting, and every record bit-identical to serial.
+        for run in runs:
+            assert client.record(ack.fleet_id, run.run_id) == \
+                serial_records[run.run_id].to_dict()
+        fleet_dir = service.broker.fleet_dir(ack.fleet_id)
+        assert json.loads(
+            (fleet_dir / RUNS_JOB_MANIFEST).read_text())["complete"]
+        assert len(list((fleet_dir / "runs").glob("*.json"))) == 2
+    finally:
+        service.stop()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_version(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["--version"])
+    assert exc_info.value.code == 0
+    assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+def test_cli_sweep_remote_needs_a_server(capsys):
+    assert main(["sweep", "--backend", "remote"]) == 2
+    assert "--server" in capsys.readouterr().err
+
+
+def test_cli_worker_needs_a_server(capsys):
+    assert main(["worker"]) == 2
+    assert "--server" in capsys.readouterr().err
