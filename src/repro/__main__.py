@@ -28,8 +28,13 @@ compare       align two or more fleet directories (or result caches)
 lint          statically check the determinism contracts (REP001..
               REP006: ambient randomness, wall-clock reads, unordered
               iteration, SIMD transcendentals, frozen-spec mutation,
-              executor payloads) against ``[tool.repro-lint]`` and the
-              committed baseline; exit 1 on any new finding
+              executor payloads) and the thread-safety contracts
+              (REP101..REP106: guarded attributes, blocking under
+              locks, shared mutable class state, thread daemon flags,
+              lock ordering, executor-boundary cache mutation) against
+              ``[tool.repro-lint]`` and the committed baseline; exit 1
+              on any new finding (``--select``/``--ignore`` filter by
+              code or family, ``--explain REPxxx`` documents one rule)
 peering       run the Section V-A local-peering what-if
 upf           run the Section V-B UPF placement comparison
 cpf           run the Section V-C control-plane comparison
@@ -251,6 +256,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
         write_baseline=args.write_baseline,
         no_baseline=args.no_baseline,
         list_rules=args.list_rules,
+        select=tuple(args.select),
+        ignore=tuple(args.ignore),
+        explain=args.explain,
     )
 
 
@@ -560,6 +568,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list-rules", action="store_true",
                         help="with lint: print the REP rule catalog "
                              "and exit")
+    parser.add_argument("--select", action="append", default=[],
+                        metavar="RULE",
+                        help="with lint: only run these rule codes or "
+                             "categories (determinism|concurrency); "
+                             "repeatable")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="RULE",
+                        help="with lint: skip these rule codes or "
+                             "categories; repeatable")
+    parser.add_argument("--explain", default=None, metavar="REPxxx",
+                        help="with lint: print one rule's contract "
+                             "and fix guidance, then exit")
     args = parser.parse_args(argv)
     if args.paths and args.command not in ("compare", "lint", "cache"):
         # The DIR positionals exist for compare and lint alone;

@@ -34,6 +34,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 
+from ..sim.sync import WatchedLock, guarded_by
 from .executors import Executor, RunOutcome
 # canonical_dumps/run_key moved to .sweep (they define run identity,
 # not just cache addressing); re-exported here for compatibility.
@@ -86,10 +87,21 @@ class CacheStats:
 
 
 class ResultCache:
-    """One on-disk content-addressed store of run records."""
+    """One on-disk content-addressed store of run records.
+
+    Thread-safe: every entry is written via a unique staging file and
+    an atomic rename, so readers on other threads (or processes) see
+    whole entries or nothing; the in-process stats counters are the
+    only shared mutable state and are lock-guarded (external readers
+    may read them lock-free — ``writes_only`` — a racy stats snapshot
+    is by design).
+    """
+
+    stats: CacheStats = guarded_by("_lock", writes_only=True)
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
+        self._lock = WatchedLock("result-cache")
         self.stats = CacheStats()
 
     def key_for(self, run: RunSpec) -> str:
@@ -112,14 +124,17 @@ class ResultCache:
                 raise ValueError("payload digest mismatch")
             record = RunRecord.from_dict(entry["record"])
         except FileNotFoundError:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
         except (KeyError, TypeError, ValueError):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
             path.unlink(missing_ok=True)
             return None
-        self.stats.hits += 1
+        with self._lock:
+            self.stats.hits += 1
         return record
 
     def put(self, key: str, record: RunRecord) -> Path:
@@ -142,7 +157,8 @@ class ResultCache:
             f".{path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
         staging.write_text(json.dumps(entry, indent=2) + "\n")
         staging.replace(path)
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.stores += 1
         self.sweep_orphans(directory=path.parent)
         return path
 

@@ -23,6 +23,14 @@ treated as a miss: the entry is deleted, counted, and rebuilt.  Like
 the result cache, writes go through a same-directory temp file and an
 atomic :func:`os.replace`, so concurrent fleets never observe partial
 entries.
+
+The cache is shared between broker threads and the server's GC chore,
+so the memory tier and the stats counters are ``guarded_by`` an
+internal :class:`~repro.sim.sync.WatchedLock`.  Disk I/O and
+compilation deliberately happen *outside* the lock: two threads
+missing on the same key build it twice, which is benign (the compiled
+scenario is a pure function of the key) and keeps the lock from ever
+waiting on a 100ms+ build or a disk read (REP102).
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from typing import Optional
 from ..core.compiled import CompiledScenario
 from ..scenarios.identity import build_key as spec_build_key
 from ..scenarios.spec import ScenarioSpec
+from ..sim.sync import WatchedLock, guarded_by
 
 __all__ = ["COMPILED_DIR", "CompiledCacheStats", "CompiledScenarioCache"]
 
@@ -67,9 +76,14 @@ class CompiledCacheStats:
 class CompiledScenarioCache:
     """Two-tier (memory + disk) cache of :class:`CompiledScenario`.
 
-    ``directory=None`` disables the disk tier.  Not thread-safe; use
-    one instance per executor (the batch executor owns one).
+    ``directory=None`` disables the disk tier.  Thread-safe: the
+    memory LRU and stats are lock-guarded; builds and disk I/O run
+    unlocked (duplicate work on a racing miss is benign, the value is
+    a pure function of the key).
     """
+
+    _memory: dict[str, CompiledScenario] = guarded_by("_lock")
+    stats: CompiledCacheStats = guarded_by("_lock", writes_only=True)
 
     def __init__(self, directory: Optional[Path | str] = None, *,
                  capacity: int = 4):
@@ -77,8 +91,9 @@ class CompiledScenarioCache:
             raise ValueError("capacity must be at least 1")
         self.directory = Path(directory) if directory is not None else None
         self.capacity = capacity
+        self._lock = WatchedLock("compiled-cache")
         self.stats = CompiledCacheStats()
-        self._memory: dict[str, CompiledScenario] = {}
+        self._memory = {}
 
     # -- lookup ---------------------------------------------------------
 
@@ -92,30 +107,35 @@ class CompiledScenarioCache:
         """
         if key is None:
             key = spec_build_key(spec, seed, density)
-        hit = self._memory.pop(key, None)
-        if hit is not None:
-            self._memory[key] = hit  # re-insert: most recently used
-            self.stats.memory_hits += 1
-            return hit
+        with self._lock:
+            hit = self._memory.pop(key, None)
+            if hit is not None:
+                self._memory[key] = hit  # re-insert: most recently used
+                self.stats.memory_hits += 1
+                return hit
         loaded = self._load(key)
         if loaded is not None:
-            self.stats.disk_hits += 1
-            self._remember(key, loaded)
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._remember(key, loaded)
             return loaded
         compiled = CompiledScenario(spec, seed=seed, density=density)
-        self.stats.builds += 1
-        self._remember(key, compiled)
+        with self._lock:
+            self.stats.builds += 1
+            self._remember(key, compiled)
         self._store(key, compiled)
         return compiled
 
-    def _remember(self, key: str, compiled: CompiledScenario) -> None:
+    def _remember(self, key: str,  # lint: holds(_lock)
+                  compiled: CompiledScenario) -> None:
         self._memory[key] = compiled
         while len(self._memory) > self.capacity:
             self._memory.pop(next(iter(self._memory)))
 
     def clear(self) -> None:
         """Drop the in-process tier (disk entries stay)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     # -- disk tier ------------------------------------------------------
 
@@ -147,7 +167,8 @@ class CompiledScenarioCache:
         except Exception:
             # Corrupt, truncated, stale-schema, or unpicklable: drop
             # the entry and let the caller recompile.
-            self.stats.corrupt += 1
+            with self._lock:
+                self.stats.corrupt += 1
             try:
                 path.unlink()
             except OSError:
@@ -177,4 +198,5 @@ class CompiledScenarioCache:
             except OSError:
                 pass
             return
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.stores += 1

@@ -190,6 +190,11 @@ class BatchExecutor:
     compiled-scenario equivalence suite pins this), and ``map`` still
     yields them in input order: outcomes are computed group by group
     and buffered until their turn.
+
+    The compiled cache may be shared — it is internally synchronized
+    (see :class:`~repro.fleet.compiled.CompiledScenarioCache`), which
+    is how the fleet service points many broker threads and the GC
+    chore at one instance.
     """
 
     name = "batch"

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 import statistics as pystats
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping, Optional
@@ -172,7 +174,13 @@ class FleetResult:
 
 
 class FleetStore:
-    """Reads and writes one fleet directory."""
+    """Reads and writes one fleet directory.
+
+    All writes go through a unique staging file and an atomic
+    :func:`os.replace`, so a reader on another thread or process (the
+    service's progress endpoints, a resumed sweep) never observes a
+    half-written manifest or record.
+    """
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
@@ -180,6 +188,14 @@ class FleetStore:
     @property
     def manifest_path(self) -> Path:
         return self.directory / MANIFEST_NAME
+
+    @staticmethod
+    def _write_text_atomic(path: Path, text: str) -> Path:
+        staging = path.parent / (
+            f".{path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
+        staging.write_text(text)
+        os.replace(staging, path)
+        return path
 
     def read_manifest(self) -> dict[str, Any]:
         """The raw manifest dict, schema-checked."""
@@ -209,16 +225,14 @@ class FleetStore:
                     "wall_s": 0.0,
                     "complete": False,
                     "runs": []}
-        self.manifest_path.write_text(
-            json.dumps(manifest, indent=2) + "\n")
-        return self.manifest_path
+        return self._write_text_atomic(
+            self.manifest_path, json.dumps(manifest, indent=2) + "\n")
 
     def write_record(self, record: RunRecord) -> Path:
         """Persist one run record; idempotent per ``run_id``."""
         path = self.directory / RUNS_DIR / f"{record.run_id}.json"
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(record.to_json() + "\n")
-        return path
+        return self._write_text_atomic(path, record.to_json() + "\n")
 
     def existing_records(self) -> dict[str, RunRecord]:
         """Parseable run records already on disk, keyed by run id.
@@ -271,8 +285,8 @@ class FleetStore:
                     "wall_s": result.wall_s,
                     "complete": True,
                     "runs": entries}
-        self.manifest_path.write_text(
-            json.dumps(manifest, indent=2) + "\n")
+        self._write_text_atomic(
+            self.manifest_path, json.dumps(manifest, indent=2) + "\n")
         paths["manifest"] = str(self.manifest_path)
         paths["summary.csv"] = result.to_csv(
             self.directory / "summary.csv")

@@ -1,11 +1,17 @@
-"""Static enforcement of the repository's determinism contracts.
+"""Static enforcement of the repository's determinism contracts —
+and, since the fleet service made the codebase concurrent, its
+thread-safety contracts.
 
 Everything this reproduction claims rests on bit-reproducibility:
 named RNG streams spawned from one root seed, libm-routed
 transcendentals in the vectorized kernel, frozen serializable specs,
 and plain-data payloads across the ``Executor`` boundary.  The golden
 digests catch violations *after the fact*; this package catches them at
-review time, as ``python -m repro lint`` and a CI gate.
+review time, as ``python -m repro lint`` and a CI gate.  Two rule
+families share one AST walk: determinism (REP001..REP006,
+:mod:`repro.lint.rules`) and concurrency (REP101..REP106,
+:mod:`repro.lint.concurrency`, driven by :mod:`repro.sim.sync`
+annotations).
 
 Public API:
 
@@ -25,15 +31,26 @@ from .cli import run_lint
 from .config import LintConfig, load_config, path_selected
 from .engine import check_paths, check_source, iter_files
 from .findings import Finding, fingerprint_findings
-from .rules import RULES, Rule, active_rules, rule_catalog
+from .rules import (
+    CONCURRENCY_RULES,
+    DETERMINISM_RULES,
+    RULES,
+    Rule,
+    active_rules,
+    rule_by_code,
+    rule_catalog,
+)
 
 __all__ = [
     "Baseline",
     "BaselineMatch",
+    "CONCURRENCY_RULES",
+    "DETERMINISM_RULES",
     "Finding",
     "LintConfig",
     "RULES",
     "Rule",
+    "rule_by_code",
     "active_rules",
     "apply_baseline",
     "check_paths",

@@ -1,11 +1,14 @@
-"""``python -m repro lint`` — the determinism-contract gate.
+"""``python -m repro lint`` — the determinism + concurrency gate.
 
 Exit codes: 0 when the tree is clean against the committed baseline,
 1 when any new REP finding exists, 2 for configuration/usage errors.
-``--format json`` emits a machine-readable report for CI annotation;
-``--write-baseline`` accepts the current findings as the new baseline
-(use sparingly — every entry is a reviewed exception, not a snooze
-button).
+``--format json`` emits a machine-readable report for CI annotation
+(each finding carries its ``category``); ``--select``/``--ignore``
+filter by rule code or family (``determinism``/``concurrency``) so CI
+can gate the two families independently; ``--explain REPxxx`` prints a
+rule's contract and fix guidance; ``--write-baseline`` accepts the
+current findings as the new baseline (use sparingly — every entry is a
+reviewed exception, not a snooze button).
 """
 
 from __future__ import annotations
@@ -19,10 +22,12 @@ from typing import Sequence, TextIO
 from .baseline import Baseline, BaselineMatch, apply_baseline
 from .config import load_config
 from .engine import check_paths, iter_files
-from .findings import Finding
-from .rules import rule_catalog
+from .findings import Finding, rule_category
+from .rules import RULES, rule_by_code, rule_catalog
 
 __all__ = ["run_lint"]
+
+_CATEGORIES = ("determinism", "concurrency")
 
 
 def _render_text(match: BaselineMatch, checked_paths: Sequence[str],
@@ -42,7 +47,7 @@ def _render_text(match: BaselineMatch, checked_paths: Sequence[str],
               f"{entry.fingerprint} — flagged code no longer present; "
               f"drop it from the baseline", file=out)
     if not match.new:
-        print("determinism contracts hold.", file=out)
+        print("determinism and concurrency contracts hold.", file=out)
 
 
 def _render_json(match: BaselineMatch, checked_paths: Sequence[str],
@@ -53,27 +58,82 @@ def _render_json(match: BaselineMatch, checked_paths: Sequence[str],
         "violations": [f.to_dict() for f in match.new],
         "accepted": [f.to_dict() for f in match.accepted],
         "stale_baseline": [e.to_dict() for e in match.stale],
-        "rules": [{"code": code, "title": title}
-                  for code, title in rule_catalog()],
+        "rules": [{"code": code, "category": category, "title": title}
+                  for code, category, title in rule_catalog()],
     }
     print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+
+
+def _explain(code: str, out: TextIO, err: TextIO) -> int:
+    cls = rule_by_code(code)
+    if cls is None:
+        known = ", ".join(c.code for c in RULES)
+        print(f"error: unknown rule {code!r}; known: {known}",
+              file=err)
+        return 2
+    print(f"{cls.code} [{cls.category}] — {cls.title}", file=out)
+    doc = (cls.__doc__ or "").strip("\n")
+    if doc:
+        # Strip the class-body indentation without bringing in
+        # textwrap for one call site.
+        lines = doc.splitlines()
+        body = lines[1:]
+        indents = [len(ln) - len(ln.lstrip()) for ln in body
+                   if ln.strip()]
+        cut = min(indents) if indents else 0
+        print("", file=out)
+        print("\n".join([lines[0].strip()]
+                        + [ln[cut:] for ln in body]), file=out)
+    return 0
+
+
+def _valid_filters(tokens: Sequence[str], flag: str,
+                   err: TextIO) -> bool:
+    known = {cls.code for cls in RULES} | set(_CATEGORIES)
+    for token in tokens:
+        if token not in known:
+            print(f"error: {flag} {token!r} is neither a rule code "
+                  f"nor a category ({'|'.join(_CATEGORIES)})",
+                  file=err)
+            return False
+    return True
+
+
+def _rule_chosen(code: str, select: Sequence[str],
+                 ignore: Sequence[str]) -> bool:
+    tags = (code, rule_category(code))
+    if any(tag in ignore for tag in tags):
+        return False
+    return not select or any(tag in select for tag in tags)
 
 
 def run_lint(paths: Sequence[str] = (), *, root: str = ".",
              output_format: str = "text", write_baseline: bool = False,
              no_baseline: bool = False, list_rules: bool = False,
+             select: Sequence[str] = (), ignore: Sequence[str] = (),
+             explain: str | None = None,
              out: TextIO | None = None,
              err: TextIO | None = None) -> int:
     """Run the linter; returns the process exit code."""
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
+    if explain is not None:
+        return _explain(explain, out, err)
     if list_rules:
-        for code, title in rule_catalog():
-            print(f"{code}  {title}", file=out)
+        for code, category, title in rule_catalog():
+            print(f"{code}  [{category}]  {title}", file=out)
         return 0
     if output_format not in ("text", "json"):
         print(f"error: unknown lint format {output_format!r} "
               f"(text|json)", file=err)
+        return 2
+    if (select or ignore) and write_baseline:
+        print("error: --write-baseline with --select/--ignore would "
+              "drop the filtered-out families from the baseline; run "
+              "it unfiltered", file=err)
+        return 2
+    if not _valid_filters(tuple(select) + tuple(ignore),
+                          "--select/--ignore", err):
         return 2
     try:
         config = load_config(root)
@@ -93,6 +153,14 @@ def run_lint(paths: Sequence[str] = (), *, root: str = ".",
 
     baseline = Baseline() if no_baseline else \
         Baseline.load(baseline_path)
+    if select or ignore:
+        findings = [f for f in findings
+                    if _rule_chosen(f.rule, select, ignore)]
+        # Filter the baseline the same way: an unselected family's
+        # entries must not surface as stale.
+        baseline = Baseline(entries=tuple(
+            e for e in baseline.entries
+            if _rule_chosen(e.rule, select, ignore)))
     checked = tuple(paths) or config.paths
     base = Path(root)
     checked_files = tuple(

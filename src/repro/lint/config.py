@@ -84,6 +84,40 @@ class LintConfig:
     #: Executor boundary
     rep006_heavy_types: tuple[str, ...] = ()
 
+    #: REP102 — dotted call origins that may block (trailing ``.`` is a
+    #: prefix match on the resolved import origin)
+    rep102_blocking: tuple[str, ...] = (
+        "urllib.request.",
+        "http.client.",
+        "socket.",
+        "subprocess.",
+        "requests.",
+        "time.sleep",
+    )
+    #: REP102 — bare method/function names that may block or perform
+    #: non-atomic disk writes (repository policy names its evaluation
+    #: and persistence entry points here)
+    rep102_blocking_methods: tuple[str, ...] = (
+        "evaluate",
+        "sample_run",
+        "urlopen",
+    )
+    #: REP103 — classes instantiated once and shared across threads;
+    #: mutable class-level attributes on them are process-global state
+    rep103_classes: tuple[str, ...] = ()
+    #: REP105 — whitelisted nested acquisitions, ``"outer->inner"``
+    lock_order: tuple[str, ...] = ()
+    #: REP106 — executor-boundary modules where shared-cache mutation
+    #: is policed
+    rep106_exec_paths: tuple[str, ...] = ()
+    #: REP106 — ``self.<attr>`` names that hold shared caches/stores
+    rep106_shared_attrs: tuple[str, ...] = ()
+    #: REP106 — methods on those attributes that mutate shared state
+    rep106_mutators: tuple[str, ...] = ()
+    #: REP106 — classes reviewed as internally synchronized; calls on
+    #: attributes built from (only) these constructors are fine
+    rep106_threadsafe: tuple[str, ...] = ()
+
     def rule_enabled(self, code: str) -> bool:
         return code not in self.disabled_rules
 

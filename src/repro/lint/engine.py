@@ -8,6 +8,16 @@ function stack and locally-defined function names, and dispatches every
 node to each active rule.  Rules stay tiny predicate objects; all
 context bookkeeping lives here.
 
+The same traversal also carries the *concurrency* context the REP1xx
+family needs: on entering a :class:`ast.ClassDef` the engine prescans
+the class body once into a :class:`ClassInfo` (``guarded_by``
+declarations, lock-typed attributes, constructor types of shared
+attributes), and it tracks which declared locks are statically held at
+every node — ``with self.<lock>:`` blocks push onto
+:attr:`ModuleContext.held_locks`, and a ``# lint: holds(<lock>)``
+comment on a helper's ``def`` line seeds the stack for its body (the
+checkable form of a "caller holds the lock" docstring).
+
 Public entry points: :func:`check_source` for one module's text,
 :func:`check_paths` for trees of files (deterministic, sorted order).
 """
@@ -16,6 +26,8 @@ from __future__ import annotations
 
 import ast
 import os.path
+import re
+from dataclasses import dataclass, field
 from pathlib import Path, PurePath
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -25,7 +37,49 @@ from .findings import Finding, fingerprint_findings
 if TYPE_CHECKING:  # pragma: no cover
     from .rules import Rule
 
-__all__ = ["ModuleContext", "check_paths", "check_source", "iter_files"]
+__all__ = ["ClassInfo", "ModuleContext", "check_paths", "check_source",
+           "iter_files"]
+
+#: constructors whose instances count as declared locks.  Matched on
+#: the call's terminal name so both ``threading.RLock()`` and the
+#: bare ``WatchedLock(...)`` of a relative import are recognized.
+LOCK_CONSTRUCTORS = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "WatchedLock", "WatchedCondition",
+})
+
+#: the ``# lint: holds(_cond)`` escape on a helper's signature.
+_HOLDS_RE = re.compile(r"#\s*lint:\s*holds\(([^)]*)\)")
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """Terminal name of a call target (``threading.RLock`` -> RLock)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+@dataclass
+class ClassInfo:
+    """One prescanned class body, as the REP1xx rules see it."""
+
+    name: str
+    #: guarded attribute -> lock attribute (``guarded_by`` declarations)
+    guarded: dict[str, str] = field(default_factory=dict)
+    #: attributes bound to a lock/condition anywhere in the class
+    locks: set[str] = field(default_factory=set)
+    #: ``self.<attr>`` -> constructor names observed in assignments
+    attr_types: dict[str, set[str]] = field(default_factory=dict)
 
 
 class ModuleContext:
@@ -44,6 +98,11 @@ class ModuleContext:
         #: per enclosing function: names of functions defined *inside*
         #: it (those never pickle across an Executor boundary)
         self.local_function_names: list[set[str]] = []
+        #: enclosing classes, innermost last (prescanned summaries)
+        self.class_stack: list[ClassInfo] = []
+        #: lock attributes statically held at the current node —
+        #: ``with self.<lock>:`` entries plus ``holds()`` escapes
+        self.held_locks: list[str] = []
         self.findings: list[Finding] = []
 
     # -- queries ----------------------------------------------------------
@@ -73,6 +132,48 @@ class ModuleContext:
         """Whether ``name`` is a function defined inside an enclosing
         function (hence unpicklable by reference)."""
         return any(name in local for local in self.local_function_names)
+
+    @property
+    def current_class(self) -> ClassInfo | None:
+        """Prescan of the innermost enclosing class, if any."""
+        return self.class_stack[-1] if self.class_stack else None
+
+    def with_locks(self, node: ast.With | ast.AsyncWith) -> list[str]:
+        """Declared locks entered by a ``with`` statement.
+
+        Only ``with self.<attr>:`` items where ``<attr>`` is a known
+        lock of the enclosing class count — a file handle in the same
+        statement does not.
+        """
+        info = self.current_class
+        if info is None:
+            return []
+        entered = []
+        for item in node.items:
+            attr = _is_self_attr(item.context_expr)
+            if attr is not None and attr in info.locks:
+                entered.append(attr)
+        return entered
+
+    def holds_escapes(
+            self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+        """Locks a ``# lint: holds(<lock>)`` signature comment asserts.
+
+        The comment lives on the ``def`` line (or the closing line of a
+        multi-line signature) and is the checkable replacement for a
+        "caller holds the lock" docstring: REP101/REP102/REP105 treat
+        the named locks as held throughout the body.
+        """
+        start = node.lineno - 1
+        end = max(node.lineno, node.body[0].lineno - 1) if node.body \
+            else node.lineno
+        names: list[str] = []
+        for line in self.lines[start:end]:
+            match = _HOLDS_RE.search(line)
+            if match:
+                names.extend(part.strip() for part in
+                             match.group(1).split(",") if part.strip())
+        return names
 
     def source_line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -106,6 +207,64 @@ def _record_import(ctx: ModuleContext, node: ast.AST) -> None:
             ctx.imports[local] = f"{node.module}.{alias.name}"
 
 
+def _scan_class(node: ast.ClassDef) -> ClassInfo:
+    """One-pass summary of a class body for the concurrency rules.
+
+    Collects ``guarded_by`` declarations and lock-typed class
+    attributes from the body's top level, then sweeps the methods for
+    ``self.<attr> = ...`` assignments to learn which attributes hold
+    locks and what constructors shared attributes are built from.
+    This inspects the subtree the walk is about to visit anyway — it
+    is not a second parse.
+    """
+    info = ClassInfo(node.name)
+    for stmt in node.body:
+        target: str | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            target, value = stmt.targets[0].id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name):
+            target, value = stmt.target.id, stmt.value
+        if target is None or not isinstance(value, ast.Call):
+            continue
+        name = _call_name(value.func)
+        if name == "guarded_by" and value.args \
+                and isinstance(value.args[0], ast.Constant) \
+                and isinstance(value.args[0].value, str):
+            info.guarded[target] = value.args[0].value
+        elif name in LOCK_CONSTRUCTORS:
+            info.locks.add(target)
+    for method in node.body:
+        if not isinstance(method,
+                          (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Assign):
+                targets: list[ast.expr] = list(sub.targets)
+                assigned = sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                targets, assigned = [sub.target], sub.value
+            else:
+                continue
+            for tgt in targets:
+                attr = _is_self_attr(tgt)
+                if attr is None:
+                    continue
+                for call in ast.walk(assigned):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    name = _call_name(call.func)
+                    if name is None:
+                        continue
+                    info.attr_types.setdefault(attr, set()).add(name)
+                    if name in LOCK_CONSTRUCTORS:
+                        info.locks.add(attr)
+    info.locks.update(info.guarded.values())
+    return info
+
+
 class _Walker:
     """Single recursive traversal dispatching to every rule."""
 
@@ -122,14 +281,40 @@ class _Walker:
             self._visit(child)
 
     def _visit(self, node: ast.AST) -> None:
+        # Structural handlers push context *after* rule dispatch, so a
+        # rule looking at e.g. a `with self._lock:` statement sees the
+        # held-lock state from *outside* it (what REP105 needs).
+        if isinstance(node, ast.ClassDef):
+            self.ctx.class_stack.append(_scan_class(node))
         for rule in self.rules:
             if isinstance(node, rule.interests):
                 rule.visit(node, self.ctx)
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             self._visit_function(node)
             return
+        if isinstance(node, ast.ClassDef):
+            try:
+                for child in ast.iter_child_nodes(node):
+                    self._visit(child)
+            finally:
+                self.ctx.class_stack.pop()
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
         for child in ast.iter_child_nodes(node):
             self._visit(child)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        ctx = self.ctx
+        entered = ctx.with_locks(node)
+        ctx.held_locks.extend(entered)
+        try:
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+        finally:
+            if entered:
+                del ctx.held_locks[-len(entered):]
 
     def _visit_function(
             self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
@@ -139,10 +324,15 @@ class _Walker:
             child.name for child in ast.walk(node)
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
             and child is not node})
+        # A nested def's body does not run under the enclosing `with`;
+        # it starts from whatever its holds() escape asserts.
+        saved_held = ctx.held_locks
+        ctx.held_locks = ctx.holds_escapes(node)
         try:
             for child in ast.iter_child_nodes(node):
                 self._visit(child)
         finally:
+            ctx.held_locks = saved_held
             ctx.function_stack.pop()
             ctx.local_function_names.pop()
 

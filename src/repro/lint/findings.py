@@ -13,12 +13,21 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-__all__ = ["Finding", "fingerprint_findings"]
+__all__ = ["Finding", "fingerprint_findings", "rule_category"]
+
+
+def rule_category(code: str) -> str:
+    """The rule family a code belongs to.
+
+    REP1xx codes are the thread-safety family; everything else
+    (REP000..REP0xx) is the original determinism family.
+    """
+    return "concurrency" if code.startswith("REP1") else "determinism"
 
 
 @dataclass(frozen=True)
 class Finding:
-    """One determinism-contract violation at a source location."""
+    """One contract violation at a source location."""
 
     rule: str            #: rule code, e.g. ``"REP004"``
     path: str            #: repo-relative posix path of the module
@@ -34,9 +43,15 @@ class Finding:
         """The identity the baseline matches on."""
         return (self.rule, self.path, self.fingerprint)
 
+    @property
+    def category(self) -> str:
+        """``"determinism"`` or ``"concurrency"``, from the rule code."""
+        return rule_category(self.rule)
+
     def to_dict(self) -> dict[str, object]:
         return {
             "rule": self.rule,
+            "category": self.category,
             "path": self.path,
             "line": self.line,
             "col": self.col,

@@ -1,8 +1,11 @@
-"""The six determinism-contract rules (REP001..REP006).
+"""The determinism-contract rules (REP001..REP006) and the rule base.
 
 Each rule is a small visitor the shared walk in
-:mod:`repro.lint.engine` dispatches matching nodes to.  They encode the
-invariants every digest in this repository rests on:
+:mod:`repro.lint.engine` dispatches matching nodes to.  The thread-
+safety family (REP101..REP106) lives in
+:mod:`repro.lint.concurrency` and is aggregated into :data:`RULES`
+here, so both families run in the one traversal.  The determinism
+rules encode the invariants every digest in this repository rests on:
 
 REP001  ambient randomness — all stochastic draws must come from a
         named :class:`~repro.sim.rng.RngRegistry` stream (or a
@@ -38,14 +41,22 @@ from typing import ClassVar
 from .config import LintConfig, path_selected
 from .engine import ModuleContext
 
-__all__ = ["RULES", "Rule", "active_rules", "rule_catalog"]
+__all__ = ["CONCURRENCY_RULES", "DETERMINISM_RULES", "RULES", "Rule",
+           "active_rules", "rule_by_code", "rule_catalog"]
 
 
 class Rule:
-    """Base class: a code, a one-line contract, and a node visitor."""
+    """Base class: a code, a one-line contract, and a node visitor.
+
+    The class docstring of each concrete rule is user-facing: it is
+    what ``python -m repro lint --explain REPxxx`` prints, so it
+    states the contract *and* the fix guidance.
+    """
 
     code: ClassVar[str] = "REP000"
     title: ClassVar[str] = "internal"
+    #: which family the rule belongs to (CI gates them independently)
+    category: ClassVar[str] = "determinism"
     #: node types the shared walk dispatches to this rule
     interests: ClassVar[tuple[type, ...]] = ()
 
@@ -81,6 +92,15 @@ _RANDOM_NAMESPACE_OK = frozenset({"Generator", "BitGenerator"})
 
 
 class Rep001AmbientRandomness(Rule):
+    """All stochastic draws must come from named, seeded streams.
+
+    ``random.*``, legacy ``np.random.<fn>`` global-state draws, and
+    unseeded bit-generator factories smuggle process-global or OS
+    entropy into results.  Fix: draw from a named
+    :class:`repro.sim.rng.RngRegistry` stream or accept a Generator
+    parameter; seed factories explicitly (``stable_seed``).
+    """
+
     code = "REP001"
     title = "ambient randomness outside RngRegistry streams"
     interests = (ast.Call,)
@@ -125,6 +145,14 @@ _WALL_CLOCK_CALLS = frozenset({
 
 
 class Rep002WallClock(Rule):
+    """Evaluation output must not observe the host.
+
+    ``time.time()``, ``uuid4()``, ``os.urandom`` and friends make a
+    result impossible to content-address.  Fix: thread timestamps in
+    as explicit inputs, or move the read into an exempt module
+    (CLI/fleet metadata, configured via rep002-exempt).
+    """
+
     code = "REP002"
     title = "wall-clock/entropy reads inside evaluation code"
     interests = (ast.Call,)
@@ -149,6 +177,15 @@ class Rep002WallClock(Rule):
 
 
 class Rep003UnorderedIteration(Rule):
+    """Iteration feeding draws or serialization must be ordered.
+
+    Draw order and canonical JSON both depend on iteration order;
+    ``set`` iteration and raw ``.items()``/``.keys()``/``.values()``
+    on the stream path must go through ``sorted(...)`` — or be
+    accepted into the baseline when insertion order is the documented
+    contract.
+    """
+
     code = "REP003"
     title = "unordered set/dict iteration on the stream path"
     interests = (ast.For, ast.ListComp, ast.SetComp, ast.DictComp,
@@ -195,6 +232,14 @@ class Rep003UnorderedIteration(Rule):
 
 
 class Rep004SimdTranscendental(Rule):
+    """Bit-identity modules must route transcendentals through libm.
+
+    float64 array forms of ``np.sin``/``np.log10``/... may dispatch to
+    vendor SIMD kernels one ulp off libm — enough to flip a serving
+    argmax.  Fix: use the per-element helpers in
+    :mod:`repro.geo.coords` inside the configured rep004-paths.
+    """
+
     code = "REP004"
     title = "NumPy SIMD transcendental in a bit-identity module"
     interests = (ast.Call, ast.BinOp)
@@ -243,6 +288,13 @@ class Rep004SimdTranscendental(Rule):
 
 
 class Rep005FrozenMutation(Rule):
+    """Frozen specs are immutable values once constructed.
+
+    ``object.__setattr__`` outside ``__post_init__`` mutates hashed
+    content after the fact.  Fix: rebuild via
+    ``dataclasses.replace`` / ``with_overrides``.
+    """
+
     code = "REP005"
     title = "frozen-spec mutation outside __post_init__"
     interests = (ast.Call,)
@@ -267,6 +319,14 @@ class Rep005FrozenMutation(Rule):
 
 
 class Rep006ExecutorPayload(Rule):
+    """Only plain data may cross the Executor boundary.
+
+    Lambdas, nested functions, and live model objects do not pickle
+    into workers (or cost far too much when they do).  Fix: submit
+    top-level functions taking plain data; return records, not
+    models.
+    """
+
     code = "REP006"
     title = "heavy/unpicklable payload across the Executor boundary"
     interests = (ast.Call, ast.Return)
@@ -323,8 +383,8 @@ class Rep006ExecutorPayload(Rule):
             self._check_return(node, ctx)
 
 
-#: every shipped rule, in code order.
-RULES: tuple[type[Rule], ...] = (
+#: the determinism family, in code order.
+DETERMINISM_RULES: tuple[type[Rule], ...] = (
     Rep001AmbientRandomness,
     Rep002WallClock,
     Rep003UnorderedIteration,
@@ -333,6 +393,14 @@ RULES: tuple[type[Rule], ...] = (
     Rep006ExecutorPayload,
 )
 
+# The concurrency family subclasses Rule, so its module imports this
+# one; aggregating it here (after Rule exists) keeps a single RULES
+# registry without a cycle.
+from .concurrency import CONCURRENCY_RULES  # noqa: E402
+
+#: every shipped rule, in code order.
+RULES: tuple[type[Rule], ...] = DETERMINISM_RULES + CONCURRENCY_RULES
+
 
 def active_rules(config: LintConfig, rel_path: str) -> list[Rule]:
     """Instantiate the rules that apply to one module."""
@@ -340,7 +408,15 @@ def active_rules(config: LintConfig, rel_path: str) -> list[Rule]:
             if cls.applies_to(config, rel_path)]
 
 
-def rule_catalog() -> list[tuple[str, str]]:
-    """``(code, title)`` for every shipped rule — the CLI's
+def rule_catalog() -> list[tuple[str, str, str]]:
+    """``(code, category, title)`` for every shipped rule — the CLI's
     ``--list-rules`` output and the README's source of truth."""
-    return [(cls.code, cls.title) for cls in RULES]
+    return [(cls.code, cls.category, cls.title) for cls in RULES]
+
+
+def rule_by_code(code: str) -> type[Rule] | None:
+    """The rule class for ``code`` (``--explain`` lookup)."""
+    for cls in RULES:
+        if cls.code == code:
+            return cls
+    return None

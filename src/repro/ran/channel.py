@@ -20,18 +20,36 @@ structure.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Sequence
 
 import numpy as np
 
 from ..geo.coords import GeoPoint
 from ..sim.rng import stable_seed
+from ..sim.sync import guarded_by
 
 __all__ = ["ChannelModel"]
 
 
 class ChannelModel:
-    """Link-budget model for one carrier frequency."""
+    """Link-budget model for one carrier frequency.
+
+    The shadowing-tile memo is shared whenever one compiled scenario
+    is sampled by several threads (the ``thread`` executor backend),
+    so it is ``guarded_by`` a plain :class:`threading.RLock` — plain
+    rather than a :class:`~repro.sim.sync.WatchedLock` because this
+    sits on the sampling hot path (~2k lookups per evaluation) and
+    the stdlib lock's C fast path matters here.  The draw itself is a
+    pure function of ``(seed, sigma, tile)``, so locking is
+    observationally invisible to the golden digests.
+    """
+
+    #: memoised tile -> shadowing value, LRU in dict order
+    _shadow_cache: dict[tuple[int, int], float] = \
+        guarded_by("_shadow_lock")
+    #: the (seed, sigma) the memo was filled under
+    _shadow_inputs: tuple[int, float] = guarded_by("_shadow_lock")
 
     #: Upper bound on memoised shadowing tiles.  ~10 m tiles over a
     #: city-scale grid stay far below this, but a long-lived process
@@ -66,8 +84,21 @@ class ChannelModel:
         #: function of (seed, sigma, quantized tile), so caching it is
         #: observationally invisible.  ``_shadow_inputs`` guards the
         #: memo against post-hoc mutation of the public attributes.
-        self._shadow_cache: dict[tuple[int, int], float] = {}
+        self._shadow_lock = threading.RLock()
+        self._shadow_cache = {}
         self._shadow_inputs = (seed, shadowing_sigma_db)
+
+    def __getstate__(self) -> dict[str, object]:
+        # Locks do not pickle/deepcopy; the memo is derived state and
+        # rebuilds lazily on the other side.
+        state = dict(self.__dict__)
+        state.pop("_shadow_lock", None)
+        state["_shadow_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__["_shadow_lock"] = threading.RLock()
+        self.__dict__.update(state)
 
     # -- link budget ----------------------------------------------------
 
@@ -109,22 +140,23 @@ class ChannelModel:
         same shadowing value, approximating the de-correlation distance
         of urban log-normal shadowing.
         """
-        inputs = (self.seed, self.shadowing_sigma_db)
-        if inputs != self._shadow_inputs:
-            self._shadow_cache.clear()
-            self._shadow_inputs = inputs
         tile = (round(location.lat * 1e4), round(location.lon * 1e4))
-        cache = self._shadow_cache
-        value = cache.pop(tile, None)
-        if value is None:
-            rng = np.random.Generator(np.random.PCG64(
-                stable_seed(self.seed, "shadow", *tile)))
-            value = float(rng.normal(0.0, self.shadowing_sigma_db))
-            while len(cache) >= self.SHADOW_CACHE_CAPACITY:
-                del cache[next(iter(cache))]
-        # (Re-)insert at the back: dict order is recency order, so the
-        # eviction above drops the least recently used tile.
-        cache[tile] = value
+        with self._shadow_lock:
+            inputs = (self.seed, self.shadowing_sigma_db)
+            if inputs != self._shadow_inputs:
+                self._shadow_cache.clear()
+                self._shadow_inputs = inputs
+            cache = self._shadow_cache
+            value = cache.pop(tile, None)
+            if value is None:
+                rng = np.random.Generator(np.random.PCG64(
+                    stable_seed(self.seed, "shadow", *tile)))
+                value = float(rng.normal(0.0, self.shadowing_sigma_db))
+                while len(cache) >= self.SHADOW_CACHE_CAPACITY:
+                    del cache[next(iter(cache))]
+            # (Re-)insert at the back: dict order is recency order, so
+            # the eviction above drops the least recently used tile.
+            cache[tile] = value
         return value
 
     def shadowing_db_many(self, locations: Sequence[GeoPoint]) -> np.ndarray:

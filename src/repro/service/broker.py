@@ -33,7 +33,6 @@ sleeping.
 from __future__ import annotations
 
 import json
-import threading
 import time
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence, Union
@@ -41,6 +40,7 @@ from typing import Any, Callable, Optional, Sequence, Union
 from ..fleet.cache import ResultCache, rebind_record
 from ..fleet.progress import ProgressEvent
 from ..fleet.store import FleetResult, FleetStore
+from ..sim.sync import WatchedCondition, guarded_by
 from ..fleet.sweep import (
     RunRecord,
     RunSpec,
@@ -116,7 +116,18 @@ class _Fleet:
 
 
 class FleetBroker:
-    """In-memory queue + on-disk fleet stores behind the service."""
+    """In-memory queue + on-disk fleet stores behind the service.
+
+    Thread-safety contract (checked by ``repro lint`` REP101 and the
+    runtime watchdog): all queue state is ``guarded_by`` the single
+    condition ``_cond``; helpers called with it held carry a
+    ``# lint: holds(_cond)`` marker.  ``requeues`` is ``writes_only``
+    — tests and metrics read the counter lock-free by design.
+    """
+
+    _fleets: dict[str, _Fleet] = guarded_by("_cond")
+    _counter: int = guarded_by("_cond")
+    requeues: int = guarded_by("_cond", writes_only=True)
 
     def __init__(self, root: Union[str, Path], *,
                  cache: Optional[ResultCache] = None,
@@ -128,10 +139,10 @@ class FleetBroker:
         self.cache = cache
         self.lease_ttl_s = lease_ttl_s
         self.clock = clock
+        self._cond = WatchedCondition("broker")
         self.requeues = 0          #: lifetime count of expired leases
-        self._fleets: dict[str, _Fleet] = {}
+        self._fleets = {}
         self._counter = 0
-        self._cond = threading.Condition()
 
     # -- submission -------------------------------------------------------
 
@@ -218,7 +229,7 @@ class FleetBroker:
                                       ttl_s=self.lease_ttl_s)
         return None
 
-    def _expire(self, now: float) -> int:
+    def _expire(self, now: float) -> int:  # lint: holds(_cond)
         """Re-queue every lease whose deadline has passed.  Caller
         holds the lock."""
         expired = 0
@@ -255,8 +266,11 @@ class FleetBroker:
         re-queued and completed by someone else — is a duplicate, not
         an error, and changes nothing.
         """
-        fleet, index, _ = self._parse_lease(submission.lease_id)
         with self._cond:
+            # Lease resolution reads _fleets, so it must happen inside
+            # the lock — resolving first and locking after raced with
+            # concurrent submissions mutating the fleet table.
+            fleet, index, _ = self._parse_lease(submission.lease_id)
             slot = fleet.slots[index]
             if submission.error:
                 if slot.state == LEASED:
@@ -301,7 +315,8 @@ class FleetBroker:
             self._cond.notify_all()
             return ResultAck(accepted=True)
 
-    def _parse_lease(self, lease_id: str) -> tuple[_Fleet, int, int]:
+    def _parse_lease(  # lint: holds(_cond)
+            self, lease_id: str) -> tuple[_Fleet, int, int]:
         try:
             fleet_id, index_s, attempt_s = lease_id.rsplit(":", 2)
             fleet = self._fleets[fleet_id]
@@ -313,7 +328,8 @@ class FleetBroker:
 
     # -- completion -------------------------------------------------------
 
-    def _emit_run(self, fleet: _Fleet, done: int, slot: _Slot) -> None:
+    def _emit_run(self, fleet: _Fleet, done: int,  # lint: holds(_cond)
+                  slot: _Slot) -> None:
         assert slot.record is not None
         event = ProgressEvent.from_record(
             done, len(fleet.slots), slot.record,
@@ -322,7 +338,7 @@ class FleetBroker:
         event["fleet_id"] = fleet.fleet_id
         fleet.events.append(event)
 
-    def _finalize(self, fleet: _Fleet) -> None:
+    def _finalize(self, fleet: _Fleet) -> None:  # lint: holds(_cond)
         """Mark complete and write the durable artifacts.  Caller
         holds the lock; every slot is DONE."""
         fleet.finished = self.clock()
@@ -352,7 +368,7 @@ class FleetBroker:
 
     # -- introspection ----------------------------------------------------
 
-    def _fleet(self, fleet_id: str) -> _Fleet:
+    def _fleet(self, fleet_id: str) -> _Fleet:  # lint: holds(_cond)
         try:
             return self._fleets[fleet_id]
         except KeyError:

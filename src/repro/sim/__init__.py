@@ -5,7 +5,9 @@ Public surface:
 * :class:`~repro.sim.engine.Simulator` and the event/process machinery,
 * :mod:`~repro.sim.resources` shared-resource primitives,
 * :class:`~repro.sim.rng.RngRegistry` deterministic random streams,
-* :mod:`~repro.sim.monitor` measurement collectors.
+* :mod:`~repro.sim.monitor` measurement collectors,
+* :mod:`~repro.sim.sync` thread-safety contracts (guarded attributes,
+  watched locks, lock-order watchdog).
 """
 
 
@@ -24,6 +26,14 @@ from .engine import (
 from .monitor import SeriesMonitor, SummaryStats, TimeWeightedMonitor
 from .resources import Container, PriorityResource, Request, Resource, Store
 from .rng import RngRegistry, stable_seed
+from .sync import (
+    GuardViolation,
+    LockOrderError,
+    SyncContractError,
+    WatchedCondition,
+    WatchedLock,
+    guarded_by,
+)
 
 __all__ = [
     "Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf",
@@ -31,4 +41,6 @@ __all__ = [
     "Resource", "PriorityResource", "Request", "Store", "Container",
     "RngRegistry", "stable_seed",
     "SeriesMonitor", "TimeWeightedMonitor", "SummaryStats",
+    "guarded_by", "WatchedLock", "WatchedCondition",
+    "SyncContractError", "GuardViolation", "LockOrderError",
 ]

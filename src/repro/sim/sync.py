@@ -1,0 +1,418 @@
+"""Thread-safety contracts: guarded attributes + watched locks.
+
+The concurrency analogue of :mod:`repro.sim.rng`'s determinism
+contracts: this module is where a class *declares* its locking
+discipline, so both the static linter (``repro lint`` REP101..REP106)
+and a runtime watchdog can enforce it.
+
+Two halves:
+
+* :func:`guarded_by` — a class-level declaration that an attribute may
+  only be touched while holding a named lock attribute of the same
+  object.  The declaration is what REP101 reads; at runtime it is a
+  data descriptor that, in *assert mode*, raises
+  :class:`GuardViolation` on any access without the lock held.
+* :class:`WatchedLock` / :class:`WatchedCondition` — drop-in
+  ``RLock``/``Condition`` wrappers that track ownership (so
+  ``held_by_current_thread`` is answerable) and, in assert mode, feed
+  a process-global lock-acquisition-order graph.  Acquiring lock B
+  while holding lock A adds the edge ``A -> B``; an acquisition that
+  would close a cycle raises :class:`LockOrderError` *before*
+  blocking — a sanitizer-style potential-deadlock detector, the
+  dynamic twin of the static REP105 lock-order rule.
+
+Assert mode is off by default (the wrappers then cost one extra
+method call per acquire) and is enabled for tests and the service
+end-to-end smoke via the ``REPRO_SYNC_ASSERT=1`` environment variable
+or :func:`set_assert_mode`.
+
+Conventions the static rules rely on:
+
+* declare ``attr: <type> = guarded_by("_lock")`` at class level, and
+  assign the real value in ``__init__`` (the first assignment is
+  always allowed — the object is not shared yet);
+* ``writes_only=True`` relaxes only the *runtime* read check, for
+  attributes whose binding is effectively immutable after ``__init__``
+  and which external observers may read without the lock (stats
+  counters); the static rule still requires in-class accesses to hold
+  the lock;
+* helpers documented as "caller holds the lock" carry a
+  ``# lint: holds(<lock>)`` comment on their ``def`` line, which both
+  documents and (statically) enforces the convention.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Optional
+
+__all__ = [
+    "GuardViolation",
+    "GuardedAttribute",
+    "LockOrderError",
+    "SyncContractError",
+    "WatchedCondition",
+    "WatchedLock",
+    "assert_mode",
+    "declared_guards",
+    "guarded_by",
+    "reset_watchdog",
+    "set_assert_mode",
+]
+
+#: environment variable that switches assert mode on at import time
+ASSERT_ENV = "REPRO_SYNC_ASSERT"
+
+
+class SyncContractError(RuntimeError):
+    """A declared thread-safety contract was violated at runtime."""
+
+
+class GuardViolation(SyncContractError):
+    """A guarded attribute was touched without its lock held."""
+
+
+class LockOrderError(SyncContractError):
+    """A lock acquisition would close a cycle in the order graph."""
+
+
+def _env_assert() -> bool:
+    return os.environ.get(ASSERT_ENV, "").strip().lower() not in (
+        "", "0", "false", "no")
+
+
+_assert_mode: bool = _env_assert()
+
+
+def assert_mode() -> bool:
+    """Whether runtime contract checking is currently enabled."""
+    return _assert_mode
+
+
+def set_assert_mode(enabled: bool) -> bool:
+    """Enable/disable runtime checking; returns the previous mode.
+
+    Tests toggle this in-process instead of re-importing with the
+    environment variable set.
+    """
+    global _assert_mode
+    previous = _assert_mode
+    _assert_mode = bool(enabled)
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Lock-order watchdog: a process-global graph of observed acquisition
+# order, keyed by lock *name* (every "broker" lock is one node), plus a
+# per-thread stack of currently held names.
+# ---------------------------------------------------------------------------
+
+_graph_lock = threading.Lock()
+#: lock name -> names acquired at least once while it was held
+_order_edges: dict[str, set[str]] = {}
+_held_local = threading.local()
+
+
+def _held_stack() -> list[str]:
+    stack = getattr(_held_local, "stack", None)
+    if stack is None:
+        stack = []
+        _held_local.stack = stack
+    return stack
+
+
+def reset_watchdog() -> None:
+    """Forget all recorded acquisition-order edges (test isolation)."""
+    with _graph_lock:
+        _order_edges.clear()
+
+
+def _path_between(src: str, dst: str) -> Optional[list[str]]:
+    """A path ``src -> .. -> dst`` through the order graph, if any.
+
+    Caller holds ``_graph_lock``.
+    """
+    frontier = [(src, [src])]
+    seen = {src}
+    while frontier:
+        node, path = frontier.pop()
+        for successor in sorted(_order_edges.get(node, ())):
+            if successor == dst:
+                return path + [dst]
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append((successor, path + [successor]))
+    return None
+
+
+def _check_order(name: str) -> None:
+    """Record held->name edges; raise before a cycle-closing acquire."""
+    held = [h for h in dict.fromkeys(_held_stack()) if h != name]
+    if not held:
+        return
+    with _graph_lock:
+        # Detect before recording: a refused acquisition must not leave
+        # its cycle-closing edge behind, or the *valid* ordering would
+        # trip the watchdog forever after.
+        for outer in held:
+            path = _path_between(name, outer)
+            if path is not None:
+                chain = " -> ".join([outer] + path)
+                raise LockOrderError(
+                    f"acquiring '{name}' while holding '{outer}' closes "
+                    f"the lock-order cycle {chain}; this ordering can "
+                    f"deadlock")
+        for outer in held:
+            _order_edges.setdefault(outer, set()).add(name)
+
+
+def _note_acquired(name: str) -> None:
+    _held_stack().append(name)
+
+
+def _note_released(name: str) -> None:
+    stack = _held_stack()
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index] == name:
+            del stack[index]
+            return
+
+
+# ---------------------------------------------------------------------------
+# Watched locks
+# ---------------------------------------------------------------------------
+
+class WatchedLock:
+    """A reentrant lock that knows who holds it.
+
+    Semantics of :class:`threading.RLock`, plus
+    :meth:`held_by_current_thread` (which the :func:`guarded_by`
+    runtime check uses) and, in assert mode, participation in the
+    lock-order watchdog.
+    """
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self._lock = threading.RLock()
+        self._owner: Optional[int] = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        if _assert_mode and self._owner != threading.get_ident():
+            _check_order(self.name)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._count += 1
+            _note_acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            raise RuntimeError(
+                f"release of WatchedLock '{self.name}' by a thread "
+                f"that does not hold it")
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+        _note_released(self.name)
+        self._lock.release()
+
+    def held_by_current_thread(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    # threading.Condition compatibility (also lets a WatchedLock back a
+    # plain stdlib Condition if ever needed)
+    def _is_owned(self) -> bool:
+        return self.held_by_current_thread()
+
+    def __enter__(self) -> "WatchedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = self._owner if self._owner is not None else "nobody"
+        return f"<WatchedLock {self.name!r} held by {owner}>"
+
+
+class WatchedCondition:
+    """A condition variable over a watched (reentrant) lock.
+
+    The subset of :class:`threading.Condition` the repository uses —
+    ``acquire``/``release``/context manager, ``wait``, ``notify``,
+    ``notify_all`` — with ownership tracking that stays correct across
+    ``wait()`` (which releases the lock while blocked).
+    """
+
+    def __init__(self, name: str = "condition") -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._owner: Optional[int] = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        if _assert_mode and self._owner != threading.get_ident():
+            _check_order(self.name)
+        acquired = self._cond.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._count += 1
+            _note_acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            raise RuntimeError(
+                f"release of WatchedCondition '{self.name}' by a "
+                f"thread that does not hold it")
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+        _note_released(self.name)
+        self._cond.release()
+
+    def held_by_current_thread(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def _is_owned(self) -> bool:
+        return self.held_by_current_thread()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        if self._owner != threading.get_ident():
+            raise RuntimeError(
+                f"wait() on WatchedCondition '{self.name}' without "
+                f"holding it")
+        owner, count = self._owner, self._count
+        # The underlying Condition releases every recursion level while
+        # blocked; mirror that in the ownership bookkeeping first (we
+        # still hold the lock here, so no other thread can race these
+        # writes).
+        self._owner, self._count = None, 0
+        for _ in range(count):
+            _note_released(self.name)
+        try:
+            return self._cond.wait(timeout)
+        finally:
+            self._owner, self._count = owner, count
+            for _ in range(count):
+                _note_acquired(self.name)
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+    def __enter__(self) -> "WatchedCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = self._owner if self._owner is not None else "nobody"
+        return f"<WatchedCondition {self.name!r} held by {owner}>"
+
+
+# ---------------------------------------------------------------------------
+# Guarded attributes
+# ---------------------------------------------------------------------------
+
+class GuardedAttribute:
+    """Class-level marker + runtime check for a lock-guarded attribute.
+
+    A data descriptor storing the value in the instance ``__dict__``
+    under its own name.  Outside assert mode it is a transparent
+    proxy; in assert mode every access (every write for
+    ``writes_only``) verifies the declared lock is held by the calling
+    thread.  The very first assignment — construction — is exempt: the
+    object cannot be shared before its initializer returns it.
+    """
+
+    __slots__ = ("lock_attr", "writes_only", "name")
+
+    def __init__(self, lock_attr: str, *,
+                 writes_only: bool = False) -> None:
+        self.lock_attr = lock_attr
+        self.writes_only = writes_only
+        self.name = ""
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def _check(self, obj: Any, op: str) -> None:
+        lock = getattr(obj, self.lock_attr, None)
+        if lock is None:
+            return  # object still under construction, lock not built
+        probe = getattr(lock, "held_by_current_thread", None)
+        if probe is None:
+            probe = getattr(lock, "_is_owned", None)  # stdlib RLock
+            if probe is None:
+                return  # a plain Lock: ownership is unknowable
+        if not probe():
+            raise GuardViolation(
+                f"{type(obj).__name__}.{self.name} {op} without "
+                f"holding self.{self.lock_attr} (declared "
+                f"guarded_by({self.lock_attr!r}))")
+
+    def __get__(self, obj: Any, objtype: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        if _assert_mode and not self.writes_only:
+            self._check(obj, "read")
+        try:
+            return obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(
+                f"{type(obj).__name__!r} object has no attribute "
+                f"{self.name!r}") from None
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        if _assert_mode and self.name in obj.__dict__:
+            self._check(obj, "write")
+        obj.__dict__[self.name] = value
+
+    def __delete__(self, obj: Any) -> None:
+        if _assert_mode:
+            self._check(obj, "delete")
+        try:
+            del obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(
+                f"{type(obj).__name__!r} object has no attribute "
+                f"{self.name!r}") from None
+
+
+def guarded_by(lock_attr: str, *, writes_only: bool = False) -> Any:
+    """Declare that this attribute is only touched under a lock.
+
+    Use at class level, normally with the type annotation carrying the
+    real value type::
+
+        class Broker:
+            _fleets: dict[str, Fleet] = guarded_by("_cond")
+
+    Returns :class:`GuardedAttribute` (typed ``Any`` so the annotation
+    above typechecks).  ``writes_only=True`` keeps the runtime check
+    for rebinding writes but allows lock-free reads — for counters and
+    stats objects whose binding never changes after ``__init__`` and
+    which outside observers may read racily by design.
+    """
+    return GuardedAttribute(lock_attr, writes_only=writes_only)
+
+
+def declared_guards(cls: type) -> dict[str, str]:
+    """``{attribute: lock attribute}`` declared across a class's MRO."""
+    guards: dict[str, str] = {}
+    for klass in reversed(cls.__mro__):
+        for key, value in vars(klass).items():
+            if isinstance(value, GuardedAttribute):
+                guards[key] = value.lock_attr
+    return guards

@@ -175,7 +175,8 @@ def test_lru_capacity_bounds_the_memory_tier():
     cache = CompiledScenarioCache(capacity=1)
     cache.get(spec, SEED, DENSITY)
     cache.get(spec, SEED + 1, DENSITY)      # evicts the first
-    assert len(cache._memory) == 1
+    with cache._lock:
+        assert len(cache._memory) == 1
     cache.get(spec, SEED, DENSITY)          # no disk tier: rebuilds
     assert cache.stats.builds == 3 and cache.stats.memory_hits == 0
 

@@ -303,15 +303,22 @@ def test_handover_validation(channel):
 # batch link budget — the measurement kernel's bitwise contracts
 # ---------------------------------------------------------------------------
 
+def memo_size(channel):
+    # The memo is guarded_by(_shadow_lock); peek under the lock so the
+    # sync watchdog (REPRO_SYNC_ASSERT=1) stays quiet.
+    with channel._shadow_lock:
+        return len(channel._shadow_cache)
+
+
 def test_shadowing_memo_caches_per_tile(channel):
     spot = GeoPoint(46.6201, 14.3002)
-    assert not channel._shadow_cache
+    assert memo_size(channel) == 0
     first = channel.shadowing_db(spot)
-    assert len(channel._shadow_cache) == 1
+    assert memo_size(channel) == 1
     assert channel.shadowing_db(spot) == first
-    assert len(channel._shadow_cache) == 1
+    assert memo_size(channel) == 1
     channel.shadowing_db(GeoPoint(46.63, 14.32))
-    assert len(channel._shadow_cache) == 2
+    assert memo_size(channel) == 2
 
 
 def test_shadowing_memo_is_bounded_lru(channel, monkeypatch):
@@ -321,7 +328,7 @@ def test_shadowing_memo_is_bounded_lru(channel, monkeypatch):
     monkeypatch.setattr(ChannelModel, "SHADOW_CACHE_CAPACITY", 3)
     spots = [GeoPoint(46.62 + 0.01 * i, 14.30) for i in range(5)]
     values = [channel.shadowing_db(s) for s in spots]
-    assert len(channel._shadow_cache) == 3
+    assert memo_size(channel) == 3
 
     # Keeping one tile hot makes it survive further insertions...
     assert channel.shadowing_db(spots[4]) == values[4]
@@ -331,7 +338,7 @@ def test_shadowing_memo_is_bounded_lru(channel, monkeypatch):
     # ...and evicted tiles re-derive to the exact same draw.
     for spot, value in zip(spots, values):
         assert channel.shadowing_db(spot) == value
-    assert len(channel._shadow_cache) == 3
+    assert memo_size(channel) == 3
 
 
 def test_shadowing_memo_matches_fresh_instance(channel):

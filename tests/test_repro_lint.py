@@ -494,7 +494,7 @@ def test_run_lint_exit_codes_and_json(tmp_path):
     out = io.StringIO()
     code = run_lint(["good.py"], root=str(tmp_path), out=out, err=err)
     assert code == 0
-    assert "determinism contracts hold" in out.getvalue()
+    assert "determinism and concurrency contracts hold" in out.getvalue()
 
     code = run_lint(["good.py"], root=str(tmp_path),
                     output_format="yaml", out=out, err=err)
@@ -521,9 +521,10 @@ def test_run_lint_list_rules():
     out = io.StringIO()
     assert run_lint(list_rules=True, out=out, err=io.StringIO()) == 0
     text = out.getvalue()
-    for code, _title in rule_catalog():
+    for code, category, _title in rule_catalog():
         assert code in text
-    assert len(rule_catalog()) == 6
+        assert f"[{category}]" in text
+    assert len(rule_catalog()) == 12
 
 
 # ---------------------------------------------------------------------------
