@@ -273,27 +273,53 @@ def _parse_bytes(text: str) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .service import ReproService
 
+    root = args.state or args.root
     try:
         max_bytes = _parse_bytes(args.max_bytes) \
             if args.max_bytes else None
         service = ReproService(
-            args.root,
+            root,
             host=args.host, port=args.port,
             cache_dir=args.cache or None,
             lease_ttl_s=args.lease_ttl,
+            journal_fsync=bool(args.state),
+            max_fleets=args.max_fleets,
+            max_pending=args.max_pending,
+            lease_rate_per_s=args.lease_rate,
             gc_max_bytes=max_bytes,
             gc_max_age_s=args.max_age,
             gc_interval_s=args.gc_interval)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"fleet service on {service.url}  (root {args.root}/, "
+    print(f"fleet service on {service.url}  (root {root}/, "
           f"cache {service.cache_dir}/)")
+    recovery = service.recovery
+    if recovery["fleets"]:
+        print(f"journal recovery: {recovery['fleets']} fleet(s), "
+              f"{recovery['records']} record(s) restored, "
+              f"{recovery['requeued']} run(s) re-queued")
     print(service.last_gc.summary())
     print("submit:  POST /fleets   workers: python -m repro worker "
           f"--server {service.url}")
+
+    def _drain_and_exit(signum: int, frame: object) -> None:
+        # Graceful degradation: stop granting leases, let checked-out
+        # work ack, sync the journal, exit 0.  Runs on a helper thread
+        # because service.stop() joins threads the signal interrupted.
+        def _shutdown() -> None:
+            print("SIGTERM: draining (no new leases; waiting for "
+                  "in-flight results)...")
+            service.drain()
+            service.httpd.shutdown()
+        threading.Thread(target=_shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain_and_exit)
     try:
         service.serve_forever()
     except KeyboardInterrupt:
@@ -316,12 +342,19 @@ def cmd_worker(args: argparse.Namespace) -> int:
             poll_s=args.poll,
             max_idle_s=args.max_idle,
             max_runs=args.max_runs,
+            max_retries=args.max_retries,
             cache_dir=args.cache or None,
             log=print)
     except KeyboardInterrupt:
         return 0
     except ServiceUnavailable as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # A malformed --server URL surfaces from urllib as a bare
+        # ValueError; fail with a message, not a traceback.
+        print(f"error: invalid server URL {args.server!r}: {exc}",
+              file=sys.stderr)
         return 2
     print(f"worker done: {completed} runs evaluated")
     return 0
@@ -500,6 +533,24 @@ def main(argv: list[str] | None = None) -> int:
                         dest="lease_ttl", metavar="SECONDS",
                         help="with serve: worker lease timeout before "
                              "a run is re-queued (default 60)")
+    parser.add_argument("--state", default="", metavar="DIR",
+                        help="with serve: durable-state mode — use DIR "
+                             "as the service root and fsync every "
+                             "journal append; a restarted server "
+                             "replays the journal and resumes its "
+                             "fleets")
+    parser.add_argument("--max-fleets", type=int, default=None,
+                        dest="max_fleets", metavar="N",
+                        help="with serve: refuse new submissions (429) "
+                             "while N fleets are already in flight")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        dest="max_pending", metavar="N",
+                        help="with serve: bound the submission queue — "
+                             "429 when queued runs would exceed N")
+    parser.add_argument("--lease-rate", type=float, default=None,
+                        dest="lease_rate", metavar="PER_S",
+                        help="with serve: per-worker lease grant rate "
+                             "cap, in grants per second")
     parser.add_argument("--max-bytes", default="",
                         dest="max_bytes", metavar="N[K|M|G]",
                         help="with serve/cache gc: evict "
@@ -527,6 +578,11 @@ def main(argv: list[str] | None = None) -> int:
                         dest="max_runs", metavar="N",
                         help="with worker: exit after N completed "
                              "runs (default: unlimited)")
+    parser.add_argument("--max-retries", type=int, default=5,
+                        dest="max_retries", metavar="N",
+                        help="with worker: connection attempts (with "
+                             "exponential backoff) per request before "
+                             "giving up (default 5)")
     parser.add_argument("--resume", action="store_true",
                         help="with sweep: finish the fleet in --out, "
                              "re-running only missing records")

@@ -85,6 +85,11 @@ class CacheStats:
     stores: int = 0
     corrupt: int = 0
 
+    def to_dict(self) -> dict[str, int]:
+        """Plain counters — what the service's ``/healthz`` embeds."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt}
+
 
 class ResultCache:
     """One on-disk content-addressed store of run records.

@@ -31,6 +31,7 @@ from concurrent.futures import Executor as _StdlibExecutor
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Iterator,
@@ -45,6 +46,9 @@ from ..core.evaluation import InfrastructureEvaluation
 from ..scenarios.spec import ScenarioSpec
 from .compiled import CompiledScenarioCache
 from .sweep import RunRecord, RunSpec, run_key
+
+if TYPE_CHECKING:   # import cycle: repro.service imports the fleet layer
+    from ..service.retry import RetryPolicy
 
 __all__ = [
     "BACKENDS",
@@ -375,6 +379,13 @@ class RemoteExecutor:
     server's shared cache means a run any client ever submitted is
     returned without recompute.
 
+    Fault tolerance: every request runs under the shared service
+    retry policy, so a server restart or transient connection loss
+    mid-campaign is absorbed by backoff instead of aborting the sweep
+    — the submission carries an idempotency key (retrying it can
+    never double-submit) and the polling loop picks up exactly where
+    the recovered server's journal left the fleet.
+
     ``jobs`` is advisory — real parallelism is however many workers
     are attached to the server.
     """
@@ -382,7 +393,8 @@ class RemoteExecutor:
     name = "remote"
 
     def __init__(self, jobs: int = 1, *, server: str = "",
-                 poll_s: float = 0.2, timeout_s: float = 60.0) -> None:
+                 poll_s: float = 0.2, timeout_s: float = 60.0,
+                 retry: Optional["RetryPolicy"] = None) -> None:
         if not server:
             raise ValueError(
                 "remote backend needs server='http://host:port' "
@@ -390,11 +402,16 @@ class RemoteExecutor:
         # Deferred import: repro.service imports the fleet layer, so
         # a module-level import here would be a cycle.
         from ..service.client import ServiceClient
+        from ..service.retry import RetryPolicy
 
         self.jobs = max(1, jobs)
         self.server = server
         self.poll_s = poll_s
-        self._client = ServiceClient(server, timeout_s=timeout_s)
+        if retry is None:
+            retry = RetryPolicy(max_attempts=8, base_delay_s=0.2,
+                                max_delay_s=5.0, timeout_s=timeout_s)
+        self._client = ServiceClient(server, timeout_s=timeout_s,
+                                     retry=retry)
 
     def submit(self, run: RunSpec) -> "Future[RunOutcome]":
         future: "Future[RunOutcome]" = Future()

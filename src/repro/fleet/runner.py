@@ -96,6 +96,10 @@ def _stats_snapshot(resolved: Executor) -> dict[str, int]:
     if isinstance(resolved, CachingExecutor):
         stats["result_cache_hits"] = resolved.cache.stats.hits
         stats["result_cache_misses"] = resolved.cache.stats.misses
+        # Corrupt entries detected (dropped + recomputed) — nonzero
+        # means the cache healed itself; records stay bit-identical
+        # either way, which the chaos suite pins.
+        stats["result_cache_corrupt"] = resolved.cache.stats.corrupt
     if isinstance(inner, BatchExecutor):
         stats["builds_performed"] = inner.compiled.stats.builds
         stats["builds_reused"] = inner.compiled.stats.hits

@@ -33,11 +33,20 @@ Quickstart::
 The broker is deterministic and in-process-testable: records coming
 back through serve + workers are bit-identical to a serial
 :func:`~repro.fleet.runner.run_sweep` of the same sweep.
+
+Fault tolerance (see the README's "Fault tolerance & durability"):
+broker state is journaled (:class:`~repro.service.journal.FleetJournal`)
+so a restarted server recovers every accepted fleet without
+re-evaluating acked runs; every network caller shares one
+:class:`~repro.service.retry.RetryPolicy` (exponential backoff,
+deterministic jitter, ``Retry-After`` aware); and overload answers
+429 (:class:`~repro.service.broker.BrokerBusy`) instead of queueing
+unboundedly.
 """
 
 from __future__ import annotations
 
-from .broker import FleetBroker
+from .broker import BrokerBusy, FleetBroker
 from .client import ServiceClient, ServiceError, ServiceUnavailable
 from .contracts import (
     API_VERSION,
@@ -49,22 +58,29 @@ from .contracts import (
     ResultSubmission,
     SubmitAck,
 )
+from .journal import FleetJournal
+from .retry import RetryExhausted, RetryPolicy, call_with_retry
 from .server import ReproService
 from .worker import run_worker
 
 __all__ = [
     "API_VERSION",
+    "BrokerBusy",
     "ContractError",
     "FleetBroker",
+    "FleetJournal",
     "FleetStatus",
     "Health",
     "LeaseGrant",
     "ReproService",
     "ResultAck",
     "ResultSubmission",
+    "RetryExhausted",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceUnavailable",
     "SubmitAck",
+    "call_with_retry",
     "run_worker",
 ]

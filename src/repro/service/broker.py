@@ -4,27 +4,37 @@ One broker instance backs one ``repro serve`` process.  Clients submit
 fleets (a :class:`~repro.fleet.sweep.SweepSpec`, or an already-expanded
 run list from :class:`~repro.fleet.executors.RemoteExecutor`); workers
 lease runs one at a time and post :class:`~repro.fleet.sweep.RunRecord`
-results back.  All state is in memory and guarded by one lock — the
+results back.  Queue state lives in memory guarded by one lock — the
 durable artifacts are the fleet directories under ``root`` (written
 through :class:`~repro.fleet.store.FleetStore`, so a completed service
-fleet is byte-compatible with a locally-run one) and the shared
-:class:`~repro.fleet.cache.ResultCache`.
+fleet is byte-compatible with a locally-run one), the shared
+:class:`~repro.fleet.cache.ResultCache`, and, when configured, the
+append-only :class:`~repro.service.journal.FleetJournal` that lets a
+restarted server :meth:`recover` every fleet it had accepted.
 
-Fault model (the reason leases exist):
+Fault model (the reason leases and the journal exist):
 
 * A worker that dies mid-run simply never posts its result.  Its
   lease expires after ``lease_ttl_s`` and the run returns to the
   queue — the next ``lease()`` call from any worker picks it up.
 * Results are deduplicated by content identity: a run is *done* the
   first time a verifying record lands, and every later submission for
-  it (a raced worker, a zombie finishing after its lease expired) is
-  acknowledged as a duplicate and discarded.  No run is ever counted
-  twice, and a record that does not verify against the leased run's
-  ``run_key`` is rejected outright.
+  it (a raced worker, a zombie finishing after its lease expired, a
+  client retrying an ambiguous failure) is acknowledged as a duplicate
+  and discarded.  No run is ever counted twice, and a record that does
+  not verify against the leased run's ``run_key`` is rejected outright.
+* A *server* that dies is recovered from the journal: submissions are
+  replayed, completed runs are re-verified against the records already
+  in the fleet store (never re-evaluated), and in-flight leases are
+  simply not restored — the runs return to the queue.
+* Backpressure is explicit: submission limits and the per-worker lease
+  rate cap refuse with :class:`BrokerBusy` (HTTP 429 + ``Retry-After``)
+  instead of queueing unboundedly, and :meth:`drain` stops grants so
+  the server can exit with nothing checked out.
 * Leasing order is deterministic — fleets in submission order, runs
   in expansion order — so a drained queue always yields records
   bit-identical to a serial :func:`~repro.fleet.runner.run_sweep` of
-  the same sweep.
+  the same sweep, crashes and retries included.
 
 Time is injected (``clock``) so lease expiry is unit-testable without
 sleeping.
@@ -55,8 +65,9 @@ from .contracts import (
     ResultSubmission,
     SubmitAck,
 )
+from .journal import FleetJournal
 
-__all__ = ["FleetBroker", "RUNS_JOB_MANIFEST"]
+__all__ = ["BrokerBusy", "FleetBroker", "RUNS_JOB_MANIFEST"]
 
 PENDING = "pending"
 LEASED = "leased"
@@ -66,6 +77,20 @@ DONE = "done"
 #: to re-expand, so they get this lightweight job file instead of a
 #: ``FleetStore`` manifest).
 RUNS_JOB_MANIFEST = "job.json"
+
+
+class BrokerBusy(RuntimeError):
+    """Backpressure: the broker refused the request *for now*.
+
+    Carries the ``Retry-After`` hint the HTTP layer serializes with a
+    429 — the retry policy on the other side honors it, so a loaded or
+    draining server slows its clients down instead of failing them.
+    """
+
+    def __init__(self, message: str, *,
+                 retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class _Slot:
@@ -110,9 +135,22 @@ class _Fleet:
         self.complete = False
         self.workers: set[str] = set()
         self.events: list[dict[str, Any]] = []
+        self.submission_key = ""
+        self.submitted_cached = 0
 
     def done_count(self) -> int:
         return sum(1 for slot in self.slots if slot.state == DONE)
+
+    def submit_entry(self) -> dict[str, Any]:
+        """The journal entry that re-creates this fleet on replay."""
+        entry: dict[str, Any] = {"type": "submit",
+                                 "fleet_id": self.fleet_id,
+                                 "submission_key": self.submission_key}
+        if self.sweep is not None:
+            entry["sweep"] = self.sweep.to_dict()
+        else:
+            entry["runs"] = [slot.run.to_dict() for slot in self.slots]
+        return entry
 
 
 class FleetBroker:
@@ -121,37 +159,79 @@ class FleetBroker:
     Thread-safety contract (checked by ``repro lint`` REP101 and the
     runtime watchdog): all queue state is ``guarded_by`` the single
     condition ``_cond``; helpers called with it held carry a
-    ``# lint: holds(_cond)`` marker.  ``requeues`` is ``writes_only``
-    — tests and metrics read the counter lock-free by design.
+    ``# lint: holds(_cond)`` marker.  The bare counters (``requeues``
+    and the ``recovered_*`` trio) are ``writes_only`` — tests, the
+    readiness probe, and metrics read them lock-free by design.
     """
 
     _fleets: dict[str, _Fleet] = guarded_by("_cond")
     _counter: int = guarded_by("_cond")
+    _submissions: dict[str, str] = guarded_by("_cond")
+    _last_grant: dict[str, float] = guarded_by("_cond")
+    _draining: bool = guarded_by("_cond", writes_only=True)
     requeues: int = guarded_by("_cond", writes_only=True)
+    recovered_fleets: int = guarded_by("_cond", writes_only=True)
+    recovered_records: int = guarded_by("_cond", writes_only=True)
+    recovery_requeued: int = guarded_by("_cond", writes_only=True)
 
     def __init__(self, root: Union[str, Path], *,
                  cache: Optional[ResultCache] = None,
                  lease_ttl_s: float = 60.0,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 journal: Optional[FleetJournal] = None,
+                 max_fleets: Optional[int] = None,
+                 max_pending: Optional[int] = None,
+                 lease_rate_per_s: Optional[float] = None,
+                 busy_retry_s: float = 1.0,
+                 fault_hook: Optional[
+                     Callable[[str], None]] = None) -> None:
         if lease_ttl_s <= 0:
             raise ValueError("lease_ttl_s must be positive")
+        if max_fleets is not None and max_fleets < 1:
+            raise ValueError("max_fleets must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if lease_rate_per_s is not None and lease_rate_per_s <= 0:
+            raise ValueError("lease_rate_per_s must be positive")
         self.root = Path(root)
         self.cache = cache
         self.lease_ttl_s = lease_ttl_s
         self.clock = clock
+        self.journal = journal
+        self.max_fleets = max_fleets
+        self.max_pending = max_pending
+        self.lease_rate_per_s = lease_rate_per_s
+        self.busy_retry_s = busy_retry_s
+        self._fault = fault_hook or (lambda op: None)
         self._cond = WatchedCondition("broker")
         self.requeues = 0          #: lifetime count of expired leases
+        self.recovered_fleets = 0
+        self.recovered_records = 0
+        self.recovery_requeued = 0
         self._fleets = {}
         self._counter = 0
+        self._submissions = {}
+        self._last_grant = {}
+        self._draining = False
+
+    def _journal(self, entry: dict[str, Any]) -> None:  # lint: holds(_cond)
+        """Append one entry when durability is on.  Caller holds the
+        lock — journal writes must be ordered with the state changes
+        they record."""
+        if self.journal is not None:
+            self.journal.append(entry)
 
     # -- submission -------------------------------------------------------
 
-    def submit_sweep(self, sweep: SweepSpec) -> SubmitAck:
+    def submit_sweep(self, sweep: SweepSpec, *,
+                     submission_key: str = "") -> SubmitAck:
         """Queue every run of ``sweep``; its directory becomes a full
         fleet store (manifest + records + CSV once complete)."""
-        return self._submit(list(sweep.expand()), sweep)
+        return self._submit(list(sweep.expand()), sweep,
+                            submission_key)
 
-    def submit_runs(self, runs: Sequence[RunSpec]) -> SubmitAck:
+    def submit_runs(self, runs: Sequence[RunSpec], *,
+                    submission_key: str = "") -> SubmitAck:
         """Queue already-expanded runs (the :class:`RemoteExecutor`
         path).  Records persist per-run; without a sweep to re-expand
         there is no manifest, just a lightweight job file."""
@@ -160,19 +240,58 @@ class FleetBroker:
         ids = [run.run_id for run in runs]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate run ids in submitted fleet")
-        return self._submit(list(runs), None)
+        return self._submit(list(runs), None, submission_key)
 
-    def _submit(self, runs: list[RunSpec],
-                sweep: Optional[SweepSpec]) -> SubmitAck:
+    def _check_capacity(self, incoming: int) -> None:  # lint: holds(_cond)
+        """Refuse the submission when it would exceed a limit.  Caller
+        holds the lock."""
+        if self._draining:
+            raise BrokerBusy("server is draining; not accepting fleets",
+                             retry_after_s=self.busy_retry_s)
+        if self.max_fleets is not None:
+            running = sum(1 for f in self._fleets.values()
+                          if not f.complete)
+            if running >= self.max_fleets:
+                raise BrokerBusy(
+                    f"at max in-flight fleets ({self.max_fleets})",
+                    retry_after_s=self.busy_retry_s)
+        if self.max_pending is not None:
+            backlog = sum(1 for f in self._fleets.values()
+                          for s in f.slots if s.state != DONE)
+            if backlog + incoming > self.max_pending:
+                raise BrokerBusy(
+                    f"submission queue full ({backlog} queued, "
+                    f"limit {self.max_pending})",
+                    retry_after_s=self.busy_retry_s)
+
+    def _submit(self, runs: list[RunSpec], sweep: Optional[SweepSpec],
+                submission_key: str) -> SubmitAck:
         with self._cond:
+            if submission_key and submission_key in self._submissions:
+                # Idempotent replay: a client retrying an ambiguous
+                # submission failure gets the original fleet back, not
+                # a second copy of it.
+                prior = self._fleets[self._submissions[submission_key]]
+                return SubmitAck(fleet_id=prior.fleet_id,
+                                 total=len(prior.slots),
+                                 cached=prior.submitted_cached,
+                                 duplicate=True)
+            self._check_capacity(len(runs))
             self._counter += 1
             fleet_id = f"fleet-{self._counter:04d}"
             store = FleetStore(self.root / fleet_id)
             fleet = _Fleet(fleet_id, [_Slot(run) for run in runs],
                            store, sweep, self.clock())
+            fleet.submission_key = submission_key
+            # Journal before the fleet directory exists: recovery then
+            # always knows about any fleet id with a directory, so a
+            # restart can never re-issue an id that has stale state.
+            self._journal(fleet.submit_entry())
             if sweep is not None:
                 store.begin(sweep, jobs=1, backend="service")
             self._fleets[fleet_id] = fleet
+            if submission_key:
+                self._submissions[submission_key] = fleet_id
             cached = 0
             if self.cache is not None:
                 # Warm-cache prefill: a run the shared cache has
@@ -187,6 +306,7 @@ class FleetBroker:
                     slot.cached = True
                     cached += 1
                     store.write_record(slot.record)
+            fleet.submitted_cached = cached
             fleet.events.append({"event": "submitted",
                                  "fleet_id": fleet_id,
                                  "total": len(fleet.slots),
@@ -206,10 +326,16 @@ class FleetBroker:
 
     def lease(self, worker_id: str) -> Optional[LeaseGrant]:
         """Check the next pending run out to ``worker_id``, or
-        ``None`` when the queue is empty.  Expired leases are swept
-        first, so a dead worker's runs are offered again here."""
+        ``None`` when the queue is empty (or the broker is draining).
+        Expired leases are swept first, so a dead worker's runs are
+        offered again here.  Raises :class:`BrokerBusy` when the
+        per-worker lease rate cap refuses a grant that work exists
+        for — the worker should wait ``retry_after_s`` and come back.
+        """
         now = self.clock()
         with self._cond:
+            if self._draining:
+                return None
             self._expire(now)
             for fleet in self._fleets.values():
                 if fleet.complete:
@@ -217,17 +343,41 @@ class FleetBroker:
                 for index, slot in enumerate(fleet.slots):
                     if slot.state != PENDING:
                         continue
+                    self._check_lease_rate(worker_id, now)
                     slot.state = LEASED
                     slot.attempt += 1
                     slot.worker_id = worker_id
                     slot.deadline = now + self.lease_ttl_s
+                    self._last_grant[worker_id] = now
                     lease_id = (f"{fleet.fleet_id}:{index}:"
                                 f"{slot.attempt}")
+                    self._journal({"type": "lease",
+                                   "fleet_id": fleet.fleet_id,
+                                   "run_id": slot.run.run_id,
+                                   "lease_id": lease_id,
+                                   "worker_id": worker_id})
                     return LeaseGrant(lease_id=lease_id,
                                       fleet_id=fleet.fleet_id,
                                       run=slot.run.to_dict(),
                                       ttl_s=self.lease_ttl_s)
         return None
+
+    def _check_lease_rate(self, worker_id: str,  # lint: holds(_cond)
+                          now: float) -> None:
+        """Enforce the per-worker grant rate.  Only consulted when a
+        grant is about to happen — an idle poll against an empty queue
+        is never rate-limited.  Caller holds the lock."""
+        if self.lease_rate_per_s is None:
+            return
+        interval = 1.0 / self.lease_rate_per_s
+        last = self._last_grant.get(worker_id)
+        if last is None:
+            return
+        wait = interval - (now - last)
+        if wait > 0:
+            raise BrokerBusy(
+                f"lease rate cap ({self.lease_rate_per_s:g}/s) for "
+                f"worker {worker_id!r}", retry_after_s=wait)
 
     def _expire(self, now: float) -> int:  # lint: holds(_cond)
         """Re-queue every lease whose deadline has passed.  Caller
@@ -309,6 +459,16 @@ class FleetBroker:
             if self.cache is not None:
                 self.cache.put(slot.run.spec_key(), record)
             fleet.store.write_record(record)
+            self._journal({"type": "ack",
+                           "fleet_id": fleet.fleet_id,
+                           "run_id": slot.run.run_id,
+                           "worker_id": slot.worker_id,
+                           "wall_s": slot.wall_s,
+                           "cached": slot.cached})
+            # The named crash window: the journal (and the record) are
+            # durable but the worker has not seen the ack yet.  A fault
+            # schedule crashes here; the retried submission dedups.
+            self._fault("broker.ack")
             self._emit_run(fleet, fleet.done_count(), slot)
             if fleet.done_count() == len(fleet.slots):
                 self._finalize(fleet)
@@ -361,10 +521,218 @@ class FleetBroker:
                    "wall_s": fleet.finished - fleet.created}
             (fleet.store.directory / RUNS_JOB_MANIFEST).write_text(
                 json.dumps(job, indent=2) + "\n")
+        self._journal({"type": "complete",
+                       "fleet_id": fleet.fleet_id})
         fleet.events.append({"event": "complete",
                              "fleet_id": fleet.fleet_id,
                              "total": len(fleet.slots),
                              "wall_s": fleet.finished - fleet.created})
+
+    # -- durability -------------------------------------------------------
+
+    def recover(self) -> dict[str, int]:
+        """Rebuild broker state by replaying the journal.
+
+        Called once, before the server starts taking requests.  For
+        every journaled submission the fleet is re-created; each slot
+        is then resolved through the content-identity resume path:
+
+        * a store record that verifies against the run's ``run_key``
+          marks the slot DONE — an acked run is **never** re-evaluated
+          (its ack metadata, when journaled, is restored too);
+        * otherwise a shared-cache hit prefills it;
+        * otherwise the run returns to the queue — including the case
+          where an ack was journaled but the record was lost, which is
+          counted as ``requeued`` (content identity guarantees the
+          re-evaluated record is bit-identical anyway).
+
+        Journaled leases are deliberately *not* restored: whoever held
+        them must retry, and the lease they get is a fresh one.  Ends
+        by compacting the journal to a snapshot of the restored state.
+        Returns counters (also kept on the broker for the readiness
+        probe): recovered ``fleets``/``records``, cache ``prefilled``,
+        and acked-but-lost ``requeued`` runs.
+        """
+        stats = {"fleets": 0, "records": 0, "prefilled": 0,
+                 "requeued": 0}
+        if self.journal is None:
+            return stats
+        submits: list[dict[str, Any]] = []
+        acks: dict[str, dict[str, dict[str, Any]]] = {}
+        for entry in self.journal.replay():
+            kind = entry.get("type")
+            if kind == "submit":
+                submits.append(entry)
+            elif kind == "ack":
+                acks.setdefault(str(entry.get("fleet_id")), {})[
+                    str(entry.get("run_id"))] = entry
+            # "lease" entries are ignored: an in-flight lease from the
+            # previous life is exactly what must go back to the queue.
+        built: list[_Fleet] = []
+        counter = 0
+        # Store I/O happens out here on fleets no other thread can see
+        # yet; only the final installation below takes the lock.
+        for entry in submits:
+            fleet = self._rebuild_fleet(entry, acks, stats)
+            if fleet is None:
+                continue
+            try:
+                counter = max(counter,
+                              int(fleet.fleet_id.rsplit("-", 1)[1]))
+            except (IndexError, ValueError):
+                pass
+            built.append(fleet)
+        with self._cond:
+            for fleet in built:
+                self._fleets[fleet.fleet_id] = fleet
+                if fleet.submission_key:
+                    self._submissions[fleet.submission_key] = \
+                        fleet.fleet_id
+                done = 0
+                for slot in fleet.slots:
+                    if slot.state == DONE and slot.record is not None:
+                        done += 1
+                        self._emit_run(fleet, done, slot)
+                if done == len(fleet.slots):
+                    self._finalize(fleet)
+            self._counter = max(self._counter, counter)
+            self.recovered_fleets = stats["fleets"]
+            self.recovered_records = stats["records"]
+            self.recovery_requeued = stats["requeued"]
+            self._cond.notify_all()
+            # Re-seed the journal with one snapshot of the restored
+            # state — replay lag drops to zero and stale segments go.
+            self.journal.compact(self._snapshot_entries())
+        return stats
+
+    def _rebuild_fleet(self, entry: dict[str, Any],
+                       acks: dict[str, dict[str, dict[str, Any]]],
+                       stats: dict[str, int]) -> Optional[_Fleet]:
+        """One fleet from its journaled submission; no lock held (the
+        fleet is local until :meth:`recover` installs it)."""
+        fleet_id = str(entry.get("fleet_id", ""))
+        if not fleet_id:
+            return None
+        sweep_data = entry.get("sweep")
+        try:
+            if sweep_data is not None:
+                sweep: Optional[SweepSpec] = SweepSpec.from_dict(
+                    sweep_data)
+                runs = list(sweep.expand())
+            else:
+                sweep = None
+                runs = [RunSpec.from_dict(d)
+                        for d in entry.get("runs") or []]
+        except (KeyError, TypeError, ValueError):
+            return None
+        if not runs:
+            return None
+        store = FleetStore(self.root / fleet_id)
+        if sweep is not None and not store.manifest_path.exists():
+            # The crash landed between the journal append and the
+            # manifest write: re-create the skeleton.
+            store.begin(sweep, jobs=1, backend="service")
+        existing = store.existing_records()
+        fleet = _Fleet(fleet_id, [_Slot(run) for run in runs], store,
+                       sweep, self.clock())
+        fleet.submission_key = str(entry.get("submission_key") or "")
+        fleet_acks = acks.get(fleet_id, {})
+        for slot in fleet.slots:
+            record = existing.get(slot.run.run_id)
+            ack = fleet_acks.get(slot.run.run_id)
+            if record is not None and record_matches_spec(
+                    record, slot.run):
+                slot.record = record
+                slot.state = DONE
+                if ack is not None:
+                    slot.cached = bool(ack.get("cached", False))
+                    slot.wall_s = float(ack.get("wall_s", 0.0))
+                    worker = str(ack.get("worker_id") or "")
+                    if worker:
+                        fleet.workers.add(worker)
+                else:
+                    # On disk but never acked: a prefill (or an ack
+                    # lost to a torn journal tail) — count it reused.
+                    slot.cached = True
+                stats["records"] += 1
+                continue
+            if self.cache is not None:
+                key = slot.run.spec_key()
+                hit = self.cache.get(key)
+                if hit is not None:
+                    slot.record = rebind_record(hit, slot.run, key)
+                    slot.state = DONE
+                    slot.cached = True
+                    store.write_record(slot.record)
+                    stats["prefilled"] += 1
+                    continue
+            if ack is not None:
+                stats["requeued"] += 1
+        fleet.submitted_cached = sum(1 for s in fleet.slots if s.cached)
+        fleet.events.append({"event": "recovered",
+                             "fleet_id": fleet_id,
+                             "total": len(fleet.slots),
+                             "done": fleet.done_count(),
+                             "requeued": (len(fleet.slots)
+                                          - fleet.done_count())})
+        stats["fleets"] += 1
+        return fleet
+
+    def _snapshot_entries(self) -> list[dict[str, Any]]:  # lint: holds(_cond)
+        """The journal entries that reproduce current state — what a
+        compaction writes behind its snapshot marker."""
+        entries: list[dict[str, Any]] = []
+        for fleet in self._fleets.values():
+            entries.append(fleet.submit_entry())
+            for slot in fleet.slots:
+                if slot.state == DONE:
+                    entries.append({"type": "ack",
+                                    "fleet_id": fleet.fleet_id,
+                                    "run_id": slot.run.run_id,
+                                    "worker_id": slot.worker_id,
+                                    "wall_s": slot.wall_s,
+                                    "cached": slot.cached})
+            if fleet.complete:
+                entries.append({"type": "complete",
+                                "fleet_id": fleet.fleet_id})
+        return entries
+
+    def compact_journal(self, *, min_lag: int = 1) -> bool:
+        """Compact when at least ``min_lag`` entries accumulated since
+        the last snapshot; returns whether a compaction ran.  The
+        server's chore thread calls this periodically."""
+        with self._cond:
+            if (self.journal is None
+                    or self.journal.appended_since_compact < min_lag):
+                return False
+            self.journal.compact(self._snapshot_entries())
+            return True
+
+    def sync_journal(self) -> None:
+        """Force journaled state to disk — the drain path's last step
+        before a clean exit."""
+        with self._cond:
+            if self.journal is not None:
+                self.journal.sync()
+
+    # -- drain ------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop granting leases and refuse new fleets; results for
+        already-granted leases are still accepted and acked."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def draining(self) -> bool:
+        with self._cond:
+            return bool(self._draining)
+
+    def in_flight(self) -> int:
+        """Leases currently checked out — what drain waits to hit 0."""
+        with self._cond:
+            return sum(1 for f in self._fleets.values()
+                       for s in f.slots if s.state == LEASED)
 
     # -- introspection ----------------------------------------------------
 
@@ -406,6 +774,23 @@ class FleetBroker:
         with self._cond:
             return sum(1 for f in self._fleets.values()
                        if not f.complete)
+
+    def queue_stats(self) -> dict[str, int]:
+        """Queue depth for the readiness probe: pending and leased
+        runs plus fleet counts, in one consistent snapshot."""
+        with self._cond:
+            pending = leased = 0
+            running = 0
+            for fleet in self._fleets.values():
+                if not fleet.complete:
+                    running += 1
+                for slot in fleet.slots:
+                    if slot.state == PENDING:
+                        pending += 1
+                    elif slot.state == LEASED:
+                        leased += 1
+            return {"fleets": len(self._fleets), "running": running,
+                    "pending": pending, "leased": leased}
 
     def slots(self, fleet_id: str, *,
               since: int = 0) -> tuple[list[dict[str, Any]], bool]:

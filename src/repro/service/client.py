@@ -1,17 +1,37 @@
 """HTTP client for the fleet service — ``urllib`` plus the contracts.
 
 One small class wraps every route the server exposes, translating
-HTTP errors into :class:`ServiceError` (which keeps the status code)
-and payloads into the typed contracts.  It deliberately imports
-nothing from the fleet layer: a worker host needs this module,
-:mod:`repro.service.contracts`, and the evaluation stack — not the
-whole orchestration surface.
+HTTP errors into :class:`ServiceError` (which keeps the status code
+and the server's ``Retry-After`` hint) and payloads into the typed
+contracts.  It deliberately imports nothing from the fleet layer: a
+worker host needs this module, :mod:`repro.service.contracts`,
+:mod:`repro.service.retry`, and the evaluation stack — not the whole
+orchestration surface.
+
+Fault tolerance: every request can run under a shared
+:class:`~repro.service.retry.RetryPolicy` (pass ``retry=``).  The
+whole API is safe to retry blind — every route is idempotent by
+construction:
+
+* fleet submission carries a client-generated ``submission_key``; a
+  retried submit of the same key returns the *original* fleet
+  (``SubmitAck.duplicate``) instead of a second copy,
+* result submission is deduplicated by ``run_key`` content identity,
+* a lease grant lost on the wire simply expires back into the queue.
+
+Connection failures (:class:`ServiceUnavailable`) and 429/5xx answers
+are retried; 4xx contract errors are not.  The optional ``fault_hook``
+is the test harness's seam (:mod:`repro.testing.faults`): called once
+per attempt, it may sleep (delay), or return ``"drop-request"`` /
+``"drop-response"`` / ``"duplicate"`` to simulate the matching network
+fault deterministically.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Iterator, Optional
+import uuid
+from typing import Any, Callable, Iterator, Optional
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
@@ -23,17 +43,24 @@ from .contracts import (
     ResultSubmission,
     SubmitAck,
 )
+from .retry import RetryExhausted, RetryPolicy, call_with_retry
 
-__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable"]
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable",
+           "RETRYABLE_STATUSES"]
+
+#: Statuses worth retrying: backpressure and transient server trouble.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
 
 
 class ServiceError(Exception):
     """The server answered with an error status."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, *,
+                 retry_after_s: float = 0.0) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after_s = retry_after_s
 
 
 class ServiceUnavailable(Exception):
@@ -41,18 +68,28 @@ class ServiceUnavailable(Exception):
 
 
 class ServiceClient:
-    """Typed access to one ``repro serve`` instance."""
+    """Typed access to one ``repro serve`` instance.
 
-    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+    ``retry=None`` keeps the historical try-once behavior; pass a
+    :class:`RetryPolicy` to make every call survive transient faults.
+    ``sleep`` is injectable so retry tests never actually wait.
+    """
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0,
+                 retry: Optional[RetryPolicy] = None,
+                 sleep: Optional[Callable[[float], None]] = None,
+                 fault_hook: Optional[
+                     Callable[[str], Optional[str]]] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy.none()
+        self._sleep = sleep
+        self._fault = fault_hook
 
     # -- plumbing ---------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 payload: Optional[dict[str, Any]] = None) -> Any:
-        body = (json.dumps(payload).encode()
-                if payload is not None else None)
+    def _http(self, method: str, path: str,
+              body: Optional[bytes]) -> Any:
         request = Request(
             self.base_url + path, data=body, method=method,
             headers={"Content-Type": "application/json"} if body else {})
@@ -61,14 +98,77 @@ class ServiceClient:
                 return json.loads(response.read() or b"null")
         except HTTPError as exc:
             detail = ""
+            retry_after = 0.0
             try:
-                detail = str(json.loads(exc.read()).get("error", ""))
+                payload = json.loads(exc.read())
+                detail = str(payload.get("error", ""))
+                retry_after = float(payload.get("retry_after_s", 0.0))
             except (OSError, TypeError, ValueError, AttributeError):
                 pass
-            raise ServiceError(exc.code, detail or exc.reason) from None
+            header = (exc.headers.get("Retry-After")
+                      if exc.headers is not None else None)
+            if header is not None:
+                try:
+                    retry_after = max(retry_after, float(header))
+                except ValueError:
+                    pass
+            raise ServiceError(exc.code, detail or exc.reason,
+                               retry_after_s=retry_after) from None
         except URLError as exc:
             raise ServiceUnavailable(
                 f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    def _attempt(self, method: str, path: str,
+                 body: Optional[bytes]) -> Any:
+        """One attempt, with the fault-injection seam around it."""
+        op = f"{method} {path}"
+        verb = self._fault(op) if self._fault is not None else None
+        if verb == "drop-request":
+            raise ServiceUnavailable(
+                f"cannot reach {self.base_url}: "
+                f"injected drop of {op}")
+        result = self._http(method, path, body)
+        if verb == "duplicate":
+            # The network delivered the request twice; the server's
+            # idempotency makes the echo harmless.
+            try:
+                self._http(method, path, body)
+            except (ServiceError, ServiceUnavailable):
+                pass
+        if verb == "drop-response":
+            # The server processed the request but the answer was
+            # lost — the ambiguous failure idempotency exists for.
+            raise ServiceUnavailable(
+                f"cannot reach {self.base_url}: "
+                f"injected loss of response to {op}")
+        return result
+
+    @staticmethod
+    def _classify(exc: BaseException) -> Optional[float]:
+        if isinstance(exc, ServiceUnavailable):
+            return 0.0
+        if (isinstance(exc, ServiceError)
+                and exc.status in RETRYABLE_STATUSES):
+            return exc.retry_after_s
+        return None
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict[str, Any]] = None) -> Any:
+        body = (json.dumps(payload).encode()
+                if payload is not None else None)
+        kwargs: dict[str, Any] = {}
+        if self._sleep is not None:
+            kwargs["sleep"] = self._sleep
+        try:
+            return call_with_retry(
+                lambda: self._attempt(method, path, body),
+                policy=self.retry, classify=self._classify,
+                key=f"{method} {path}", **kwargs)
+        except RetryExhausted as exc:
+            # Callers keep the historical contract: they see the
+            # underlying ServiceError/ServiceUnavailable, not the
+            # retry wrapper.
+            raise exc.last from None
 
     def _get(self, path: str) -> Any:
         return self._request("GET", path)
@@ -87,15 +187,25 @@ class ServiceClient:
     def scenario(self, name: str) -> dict[str, Any]:
         return dict(self._get(f"/scenarios/{name}"))
 
-    def submit_sweep(self, sweep: dict[str, Any]) -> SubmitAck:
-        """Submit a :class:`~repro.fleet.sweep.SweepSpec` dict."""
-        return SubmitAck.from_dict(self._post("/fleets",
-                                              {"sweep": sweep}))
+    def submit_sweep(self, sweep: dict[str, Any], *,
+                     submission_key: Optional[str] = None) -> SubmitAck:
+        """Submit a :class:`~repro.fleet.sweep.SweepSpec` dict.
 
-    def submit_runs(self, runs: list[dict[str, Any]]) -> SubmitAck:
+        A fresh idempotency key is generated per call (so resubmitting
+        the same sweep intentionally still creates a new fleet), and
+        the *same* key rides every retry of this submission — an
+        ambiguous failure can never double-submit.
+        """
+        return SubmitAck.from_dict(self._post("/fleets", {
+            "sweep": sweep,
+            "submission_key": submission_key or uuid.uuid4().hex}))
+
+    def submit_runs(self, runs: list[dict[str, Any]], *,
+                    submission_key: Optional[str] = None) -> SubmitAck:
         """Submit already-expanded :class:`RunSpec` dicts."""
-        return SubmitAck.from_dict(self._post("/fleets",
-                                              {"runs": runs}))
+        return SubmitAck.from_dict(self._post("/fleets", {
+            "runs": runs,
+            "submission_key": submission_key or uuid.uuid4().hex}))
 
     def fleets(self) -> list[FleetStatus]:
         return [FleetStatus.from_dict(entry)
@@ -113,9 +223,14 @@ class ServiceClient:
     def record(self, fleet_id: str, run_id: str) -> dict[str, Any]:
         return dict(self._get(f"/fleets/{fleet_id}/records/{run_id}"))
 
-    def events(self, fleet_id: str, *,
-               follow: bool = False) -> Iterator[dict[str, Any]]:
-        """The fleet's NDJSON event stream, decoded line by line."""
+    def events(self, fleet_id: str, *, follow: bool = False,
+               heartbeats: bool = False) -> Iterator[dict[str, Any]]:
+        """The fleet's NDJSON event stream, decoded line by line.
+
+        The server's keep-alive ``heartbeat`` lines are filtered out
+        unless ``heartbeats=True`` — they carry no fleet progress,
+        they only prove the stream is alive.
+        """
         suffix = "?follow=1" if follow else ""
         request = Request(
             self.base_url + f"/fleets/{fleet_id}/events{suffix}")
@@ -125,8 +240,13 @@ class ServiceClient:
                     raise ServiceError(response.status, "event stream")
                 for line in response:
                     line = line.strip()
-                    if line:
-                        yield json.loads(line)
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    if (not heartbeats and isinstance(event, dict)
+                            and event.get("event") == "heartbeat"):
+                        continue
+                    yield event
         except HTTPError as exc:
             raise ServiceError(exc.code, exc.reason) from None
         except URLError as exc:
@@ -139,7 +259,11 @@ class ServiceClient:
     # -- worker plane -----------------------------------------------------
 
     def lease(self, worker_id: str) -> Optional[LeaseGrant]:
-        """Check out the next pending run; ``None`` = queue empty."""
+        """Check out the next pending run; ``None`` = queue empty.
+
+        Safe to retry: a grant lost on the wire is never posted
+        against, so its lease simply expires back into the queue.
+        """
         payload = self._post("/lease", {"worker_id": worker_id})
         if payload.get("run") is None:
             return None

@@ -56,20 +56,37 @@ def _require(data: Mapping[str, Any], kind: str, *fields: str) -> None:
 
 @dataclass(frozen=True)
 class Health:
-    """``GET /healthz``: liveness plus the shared cache's vitals."""
+    """``GET /healthz``: liveness *and* readiness.
+
+    Beyond version/uptime, the probe carries everything a load
+    balancer (or the backpressure tests) needs to judge the server:
+    queue depth and in-flight leases (``queue``), journal vitals and
+    replay lag (``journal``), shared-cache usage and live hit/corrupt
+    counters (``cache``), the drain flag, and a summary ``ready``
+    verdict — ``False`` once draining starts.  All additive since api
+    1, so old readers still parse.
+    """
 
     version: str                        #: repro package version
     uptime_s: float
     fleets: int                         #: fleets submitted this process
     running: int                        #: of which still running
     cache: dict[str, Any] = field(default_factory=dict)
+    queue: dict[str, Any] = field(default_factory=dict)
+    journal: dict[str, Any] = field(default_factory=dict)
+    limits: dict[str, Any] = field(default_factory=dict)
+    draining: bool = False
+    ready: bool = True
     api: int = API_VERSION
 
     def to_dict(self) -> dict[str, Any]:
         return {"api": self.api, "service": "repro",
                 "version": self.version, "uptime_s": self.uptime_s,
                 "fleets": self.fleets, "running": self.running,
-                "cache": dict(self.cache)}
+                "cache": dict(self.cache), "queue": dict(self.queue),
+                "journal": dict(self.journal),
+                "limits": dict(self.limits),
+                "draining": self.draining, "ready": self.ready}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Health":
@@ -80,21 +97,34 @@ class Health:
                    fleets=int(data.get("fleets", 0)),
                    running=int(data.get("running", 0)),
                    cache=dict(data.get("cache", {})),
+                   queue=dict(data.get("queue", {})),
+                   journal=dict(data.get("journal", {})),
+                   limits=dict(data.get("limits", {})),
+                   draining=bool(data.get("draining", False)),
+                   ready=bool(data.get("ready", True)),
                    api=int(data.get("api", API_VERSION)))
 
 
 @dataclass(frozen=True)
 class SubmitAck:
-    """``POST /fleets`` response: the new fleet's identity and size."""
+    """``POST /fleets`` response: the new fleet's identity and size.
+
+    ``duplicate=True`` means the submission's idempotency key had been
+    seen before and this ack describes the *original* fleet — the
+    response a client retrying an ambiguous submission failure gets
+    instead of a second copy of its fleet.
+    """
 
     fleet_id: str
     total: int                          #: runs in the fleet
     cached: int                         #: served from cache at submit
+    duplicate: bool = False             #: idempotent replay of a prior submit
     api: int = API_VERSION
 
     def to_dict(self) -> dict[str, Any]:
         return {"api": self.api, "fleet_id": self.fleet_id,
-                "total": self.total, "cached": self.cached}
+                "total": self.total, "cached": self.cached,
+                "duplicate": self.duplicate}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SubmitAck":
@@ -103,6 +133,7 @@ class SubmitAck:
         return cls(fleet_id=str(data["fleet_id"]),
                    total=int(data["total"]),
                    cached=int(data.get("cached", 0)),
+                   duplicate=bool(data.get("duplicate", False)),
                    api=int(data.get("api", API_VERSION)))
 
 

@@ -3,14 +3,19 @@
 A long-running, stdlib-only (:mod:`http.server`) service wrapping one
 :class:`~repro.service.broker.FleetBroker` and one shared result
 cache.  Many clients submit campaigns; many workers drain the queue;
-one warm cache serves them all.
+one warm cache serves them all.  State is durable: every accepted
+submission and result is journaled (:mod:`repro.service.journal`)
+before it is acked, and a restarted server recovers its whole queue
+through :meth:`FleetBroker.recover`.
 
 Routes (bodies are the dataclasses in
 :mod:`repro.service.contracts`, plus the fleet layer's own dict
 encodings):
 
 ====================================  ======================================
-``GET  /healthz``                     version + uptime + cache stats
+``GET  /healthz``                     readiness probe: version, uptime,
+                                      queue depth, journal lag, cache
+                                      stats, limits, drain state
 ``GET  /scenarios``                   the scenario registry
 ``GET  /scenarios/<name>``            one spec as JSON
 ``POST /fleets``                      submit ``{"sweep": ...}`` or
@@ -28,12 +33,15 @@ encodings):
 
 Errors are JSON ``{"error": ...}``: 400 for malformed payloads, 404
 for unknown fleets/runs/leases, 409 for a result that fails content
-verification.  The server is deliberately thin — every decision lives
-in the broker, which is driven directly (no sockets) by the unit
-tests; these handlers only translate HTTP.
+verification, and 429 + ``Retry-After`` when backpressure (submission
+limits, the lease rate cap, drain mode) refuses work — the shared
+retry policy honors the hint.  The server is deliberately thin —
+every decision lives in the broker, which is driven directly (no
+sockets) by the unit tests; these handlers only translate HTTP.
 
 Lifecycle chores run in a background thread: expired leases are swept
-even when no worker is polling, and — when configured — the shared
+even when no worker is polling, the journal is compacted once its
+replay lag passes ``compact_lag``, and — when configured — the shared
 cache is GC'd (:func:`repro.fleet.gc.run_gc`) on startup and every
 ``gc_interval_s`` thereafter.
 """
@@ -45,7 +53,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Callable, Mapping, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
 from .. import __version__, scenarios
@@ -53,10 +61,15 @@ from ..fleet.cache import ResultCache
 from ..fleet.compare import compare_paths
 from ..fleet.gc import cache_usage, run_gc
 from ..fleet.sweep import RunSpec, SweepSpec
-from .broker import FleetBroker
+from .broker import BrokerBusy, FleetBroker
 from .contracts import ContractError, Health, ResultSubmission
+from .journal import FleetJournal
 
 __all__ = ["ReproService"]
+
+#: NDJSON line written on an idle ``follow`` stream so a vanished
+#: client turns into a send error instead of a thread leak.
+HEARTBEAT = {"event": "heartbeat"}
 
 
 class _BadRequest(Exception):
@@ -64,35 +77,67 @@ class _BadRequest(Exception):
 
 
 class ReproService:
-    """One service instance: broker + cache + HTTP front-end.
+    """One service instance: broker + cache + journal + HTTP front-end.
 
     ``port=0`` binds an ephemeral port (tests); ``url`` reports the
     bound address either way.  ``start()`` serves from a daemon
     thread, ``serve_forever()`` serves in the caller's thread (the
-    CLI); ``stop()`` shuts both down.
+    CLI); ``stop()`` shuts both down, ``drain()`` is the graceful
+    path (SIGTERM): stop granting leases, let checked-out work ack,
+    sync the journal.
+
+    The journal lives at ``root/journal`` unless ``journal_dir`` says
+    otherwise; ``journal_fsync=True`` (the CLI's ``--state`` mode)
+    makes each append durable against power loss.  Any journaled state
+    from a previous life is recovered before the socket opens —
+    ``recovery`` holds the counters.
     """
 
     def __init__(self, root: Union[str, Path], *,
                  host: str = "127.0.0.1", port: int = 0,
                  cache_dir: Optional[Union[str, Path]] = None,
                  lease_ttl_s: float = 60.0,
+                 journal_dir: Optional[Union[str, Path]] = None,
+                 journal_fsync: bool = False,
+                 max_fleets: Optional[int] = None,
+                 max_pending: Optional[int] = None,
+                 lease_rate_per_s: Optional[float] = None,
+                 stream_heartbeat_s: float = 10.0,
+                 compact_lag: int = 256,
                  gc_max_bytes: Optional[int] = None,
                  gc_max_age_s: Optional[float] = None,
-                 gc_interval_s: float = 300.0) -> None:
+                 gc_interval_s: float = 300.0,
+                 fault_hook: Optional[
+                     Callable[[str], None]] = None) -> None:
         self.root = Path(root)
         self.cache_dir = (Path(cache_dir) if cache_dir is not None
                           else self.root / "cache")
         self.cache = ResultCache(self.cache_dir)
+        self.journal = FleetJournal(
+            journal_dir if journal_dir is not None
+            else self.root / "journal",
+            fsync=journal_fsync)
         self.broker = FleetBroker(self.root / "fleets", cache=self.cache,
-                                  lease_ttl_s=lease_ttl_s)
+                                  lease_ttl_s=lease_ttl_s,
+                                  journal=self.journal,
+                                  max_fleets=max_fleets,
+                                  max_pending=max_pending,
+                                  lease_rate_per_s=lease_rate_per_s,
+                                  fault_hook=fault_hook)
+        self.stream_heartbeat_s = stream_heartbeat_s
+        self.compact_lag = compact_lag
         self.gc_max_bytes = gc_max_bytes
         self.gc_max_age_s = gc_max_age_s
         self.gc_interval_s = gc_interval_s
         self.started = time.monotonic()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
-        # Reclaim a crashed writer's staging files (and apply any
+        self._streams_lock = threading.Lock()
+        self._streams = 0
+        # Resume whatever the previous process had accepted, then
+        # reclaim a crashed writer's staging files (and apply any
         # configured limits) before accepting traffic.
+        self.recovery = self.broker.recover()
         self.last_gc = run_gc(self.cache_dir,
                               max_bytes=gc_max_bytes,
                               max_age_s=gc_max_age_s)
@@ -136,14 +181,32 @@ class ReproService:
             thread.join(timeout=5.0)
         self._threads.clear()
 
+    def drain(self, *, wait_s: float = 30.0,
+              poll_s: float = 0.05) -> bool:
+        """Graceful degradation (the SIGTERM path): stop granting
+        leases and refuse new fleets, keep accepting results for the
+        leases already out, then compact and fsync the journal.
+        Returns ``True`` when every lease resolved in time — the
+        caller can then :meth:`stop` and exit 0.
+        """
+        self.broker.drain()
+        deadline = time.monotonic() + wait_s
+        while self.broker.in_flight() and time.monotonic() < deadline:
+            time.sleep(poll_s)
+        drained = self.broker.in_flight() == 0
+        self.broker.compact_journal(min_lag=1)
+        self.broker.sync_journal()
+        return drained
+
     def _chores(self) -> None:
-        """Periodic upkeep: lease expiry sweeps and (if configured)
-        cache GC, until stopped."""
+        """Periodic upkeep: lease expiry sweeps, journal compaction,
+        and (if configured) cache GC, until stopped."""
         interval = max(1.0, min(self.broker.lease_ttl_s / 2.0,
                                 self.gc_interval_s or 60.0))
         elapsed = 0.0
         while not self._stop.wait(interval):
             self.broker.expire_leases()
+            self.broker.compact_journal(min_lag=self.compact_lag)
             elapsed += interval
             if (self.gc_interval_s and elapsed >= self.gc_interval_s
                     and (self.gc_max_bytes is not None
@@ -153,13 +216,49 @@ class ReproService:
                                       max_bytes=self.gc_max_bytes,
                                       max_age_s=self.gc_max_age_s)
 
+    # -- event-stream accounting ------------------------------------------
+
+    def _stream_opened(self) -> None:
+        with self._streams_lock:
+            self._streams += 1
+
+    def _stream_closed(self) -> None:
+        with self._streams_lock:
+            self._streams -= 1
+
+    def active_streams(self) -> int:
+        """Live ``/events`` subscriber threads — the reap test's probe."""
+        with self._streams_lock:
+            return self._streams
+
     # -- payload builders -------------------------------------------------
 
     def health(self) -> Health:
+        """The readiness probe: everything a load balancer (or the
+        backpressure tests) needs to judge this server."""
+        cache = cache_usage(self.cache_dir).to_dict()
+        cache.update(self.cache.stats.to_dict())
+        queue = dict(self.broker.queue_stats())
+        queue["requeues"] = self.broker.requeues
+        journal = self.journal.stats()
+        journal.update({
+            "recovered_fleets": self.broker.recovered_fleets,
+            "recovered_records": self.broker.recovered_records,
+            "recovery_requeued": self.broker.recovery_requeued,
+        })
+        draining = self.broker.draining()
         return Health(version=__version__, uptime_s=self.uptime_s,
-                      fleets=len(self.broker.fleet_ids()),
-                      running=self.broker.running_count(),
-                      cache=cache_usage(self.cache_dir).to_dict())
+                      fleets=queue["fleets"],
+                      running=queue["running"],
+                      cache=cache, queue=queue, journal=journal,
+                      limits={
+                          "max_fleets": self.broker.max_fleets,
+                          "max_pending": self.broker.max_pending,
+                          "lease_rate_per_s":
+                              self.broker.lease_rate_per_s,
+                          "lease_ttl_s": self.broker.lease_ttl_s,
+                      },
+                      draining=draining, ready=not draining)
 
     def scenario_index(self) -> list[dict[str, Any]]:
         rows = []
@@ -175,13 +274,16 @@ class ReproService:
         """Parse and queue one POST /fleets body."""
         if not isinstance(body, dict):
             raise _BadRequest("fleet submission must be a JSON object")
+        key = str(body.get("submission_key", "") or "")
         try:
             if "sweep" in body:
                 sweep = SweepSpec.from_dict(body["sweep"])
-                ack = self.broker.submit_sweep(sweep)
+                ack = self.broker.submit_sweep(sweep,
+                                               submission_key=key)
             elif "runs" in body:
                 runs = [RunSpec.from_dict(run) for run in body["runs"]]
-                ack = self.broker.submit_runs(runs)
+                ack = self.broker.submit_runs(runs,
+                                              submission_key=key)
             else:
                 raise _BadRequest(
                     "fleet submission needs a 'sweep' or 'runs' key")
@@ -226,11 +328,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ---------------------------------------------------------
 
-    def _json(self, status: int, payload: Any) -> None:
+    def _json(self, status: int, payload: Any, *,
+              headers: Optional[Mapping[str, str]] = None) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -257,11 +362,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, str(exc))
         except LookupError as exc:
             self._error(404, str(exc))
+        except BrokerBusy as exc:
+            # Backpressure: tell the client when to come back — the
+            # retry policy reads both the header and the JSON field.
+            retry_after = max(0.0, exc.retry_after_s)
+            self._json(429, {"error": str(exc),
+                             "retry_after_s": retry_after},
+                       headers={"Retry-After": f"{retry_after:.3f}"})
         except ValueError as exc:
             # The broker's content-verification rejection.
             self._error(409, str(exc))
-        except BrokenPipeError:   # client went away mid-stream
-            pass
+        except (BrokenPipeError, ConnectionResetError):
+            pass                  # client went away mid-stream
         else:
             if not handled:
                 self._error(404, f"no route {method} {url.path}")
@@ -354,18 +466,33 @@ class _Handler(BaseHTTPRequestHandler):
     def _stream_events(self, fleet_id: str, *, follow: bool) -> None:
         # Touch the fleet first so an unknown id is a clean 404, not a
         # half-started stream.
-        self.service.broker.status(fleet_id)
+        service = self.service
+        service.broker.status(fleet_id)
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.end_headers()
-        index = 0
-        while True:
-            events, complete = self.service.broker.events_since(
-                fleet_id, index, wait_s=10.0 if follow else 0.0)
-            for event in events:
-                self.wfile.write(
-                    (json.dumps(event, sort_keys=True) + "\n").encode())
-            self.wfile.flush()
-            index += len(events)
-            if not follow or (complete and not events):
-                break
+        service._stream_opened()
+        try:
+            index = 0
+            wait_s = service.stream_heartbeat_s if follow else 0.0
+            while True:
+                events, complete = service.broker.events_since(
+                    fleet_id, index, wait_s=wait_s)
+                for event in events:
+                    self.wfile.write(
+                        (json.dumps(event, sort_keys=True)
+                         + "\n").encode())
+                if follow and not events and not complete:
+                    # Idle heartbeat: the only thing that turns a
+                    # vanished client into a send error — without it
+                    # this loop held its thread for the fleet's whole
+                    # lifetime after the subscriber died.
+                    self.wfile.write(
+                        (json.dumps(HEARTBEAT, sort_keys=True)
+                         + "\n").encode())
+                self.wfile.flush()
+                index += len(events)
+                if not follow or (complete and not events):
+                    break
+        finally:
+            service._stream_closed()

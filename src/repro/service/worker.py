@@ -11,10 +11,17 @@ run never shows in the record.
 
 Failure handling mirrors the broker's fault model: an evaluation
 error is reported (the run re-queues immediately for another worker),
-and a worker that dies silently just lets its lease expire.  The loop
-exits on its own when the server stays unreachable or — with
-``max_idle_s`` — when the queue stays empty long enough, so CI can
-run workers to completion without process-management gymnastics.
+and a worker that dies silently just lets its lease expire.  Every
+request runs under the shared :class:`~repro.service.retry.RetryPolicy`
+— transient connection errors, server restarts, and 429 backpressure
+are absorbed by per-call backoff (idempotency makes blind retry safe),
+so a worker outlives the server that feeds it.  A server that is
+unreachable *at startup* raises :class:`ServiceUnavailable` after
+``max_retries`` backed-off attempts — the CLI turns that into a clean
+non-zero exit instead of a traceback.  The loop exits on its own when
+the server stays down mid-session or — with ``max_idle_s`` — when the
+queue stays empty long enough, so CI can run workers to completion
+without process-management gymnastics.
 """
 
 from __future__ import annotations
@@ -28,10 +35,12 @@ from ..fleet.compiled import COMPILED_DIR, CompiledScenarioCache
 from ..fleet.executors import BatchExecutor
 from ..fleet.sweep import RunSpec
 from .client import ServiceClient, ServiceError, ServiceUnavailable
+from .retry import RetryPolicy
 
 __all__ = ["run_worker"]
 
-#: Consecutive failed connection attempts before the worker gives up.
+#: Consecutive exhausted-retry connection failures before a running
+#: worker gives up (each one already spans ``max_retries`` attempts).
 MAX_UNREACHABLE = 5
 
 
@@ -39,18 +48,42 @@ def run_worker(server: str, *, worker_id: str = "",
                poll_s: float = 0.5,
                max_idle_s: Optional[float] = None,
                max_runs: Optional[int] = None,
+               max_retries: int = 5,
+               retry: Optional[RetryPolicy] = None,
                cache_dir: Optional[Union[str, Path]] = None,
-               log: Optional[Callable[[str], None]] = None) -> int:
+               log: Optional[Callable[[str], None]] = None,
+               sleep: Callable[[float], None] = time.sleep,
+               fault_hook: Optional[
+                   Callable[[str], Optional[str]]] = None) -> int:
     """Drain runs from ``server`` until told (or left) to stop.
 
     Returns the number of runs this worker completed.  ``max_idle_s``
     bounds how long an empty queue is polled before exiting;
     ``max_runs`` caps the session; ``cache_dir`` adds a local on-disk
     compiled-scenario tier so repeated builds survive worker restarts.
+    ``max_retries`` sizes the default retry policy (override the whole
+    policy with ``retry=``); ``sleep``/``fault_hook`` are the test
+    seams for backoff and fault injection.
+
+    Raises :class:`ServiceUnavailable` when the server cannot be
+    reached at startup even after the full retry schedule.
     """
     worker_id = worker_id or f"worker-{os.getpid()}"
     say = log if log is not None else lambda message: None
-    client = ServiceClient(server)
+    policy = retry if retry is not None else RetryPolicy(
+        max_attempts=max(1, max_retries), base_delay_s=0.2,
+        max_delay_s=2.0)
+    client = ServiceClient(server, retry=policy, sleep=sleep,
+                           fault_hook=fault_hook)
+    # Startup probe: surface an unreachable (or nonsense) server as
+    # one clean error after the retry schedule, not a traceback from
+    # deep inside the first lease.
+    try:
+        client.health()
+    except ServiceUnavailable as exc:
+        raise ServiceUnavailable(
+            f"server {server} unreachable after "
+            f"{policy.max_attempts} attempt(s): {exc}") from None
     compiled = (CompiledScenarioCache(Path(cache_dir) / COMPILED_DIR)
                 if cache_dir is not None else None)
     executor = BatchExecutor(compiled=compiled)
@@ -69,9 +102,14 @@ def run_worker(server: str, *, worker_id: str = "",
                 if unreachable >= MAX_UNREACHABLE:
                     say(f"{worker_id}: server unreachable, exiting")
                     break
-                time.sleep(poll_s)
+                sleep(poll_s)
                 continue
             except ServiceError as exc:
+                if exc.status == 429:
+                    # Backpressure outlasted the retry budget: wait
+                    # out the server's hint and keep going.
+                    sleep(max(poll_s, exc.retry_after_s))
+                    continue
                 say(f"{worker_id}: lease rejected ({exc}), exiting")
                 break
             unreachable = 0
@@ -84,7 +122,7 @@ def run_worker(server: str, *, worker_id: str = "",
                     say(f"{worker_id}: idle for {max_idle_s:g} s, "
                         f"exiting")
                     break
-                time.sleep(poll_s)
+                sleep(poll_s)
                 continue
             idle_since = None
             run = RunSpec.from_dict(grant.run)

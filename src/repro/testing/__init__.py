@@ -1,0 +1,29 @@
+"""Deterministic test harnesses shipped with the package.
+
+:mod:`repro.testing.faults` is the fault-injection DSL the chaos
+suite drives the fleet service with; it lives in the package (not in
+``tests/``) so external deployments can chaos-test their own setups
+with the exact harness CI uses.
+"""
+
+from .faults import (
+    ACTIONS,
+    FaultInjected,
+    FaultSchedule,
+    FaultSpec,
+    SimulatedCrash,
+    WorkerKilled,
+    corrupt_cache_entry,
+    seeded_bytes,
+)
+
+__all__ = [
+    "ACTIONS",
+    "FaultInjected",
+    "FaultSchedule",
+    "FaultSpec",
+    "SimulatedCrash",
+    "WorkerKilled",
+    "corrupt_cache_entry",
+    "seeded_bytes",
+]

@@ -1,0 +1,192 @@
+"""Tests for the deterministic fault-injection harness: spec
+validation, count-based arming (after/times), op patterns, the action
+verbs, thread safety of the schedule, and the seeded data-corruption
+helpers.  Everything must be replayable — same schedule, same calls,
+same faults."""
+
+import threading
+
+import pytest
+
+from repro.testing import (
+    ACTIONS,
+    FaultInjected,
+    FaultSchedule,
+    FaultSpec,
+    SimulatedCrash,
+    WorkerKilled,
+    corrupt_cache_entry,
+    seeded_bytes,
+)
+
+
+# ---------------------------------------------------------------------------
+# FaultSpec
+# ---------------------------------------------------------------------------
+
+def test_spec_rejects_unknown_actions():
+    with pytest.raises(ValueError, match="unknown fault action"):
+        FaultSpec(op="POST /lease", action="explode")
+
+
+def test_spec_rejects_negative_counters():
+    with pytest.raises(ValueError, match="non-negative"):
+        FaultSpec(op="x", action="kill", after=-1)
+    with pytest.raises(ValueError, match="non-negative"):
+        FaultSpec(op="x", action="kill", times=-1)
+    with pytest.raises(ValueError, match="delay_s"):
+        FaultSpec(op="x", action="delay", delay_s=-0.5)
+
+
+def test_every_documented_action_is_constructible():
+    for action in ACTIONS:
+        FaultSpec(op="x", action=action)
+
+
+# ---------------------------------------------------------------------------
+# Schedule matching
+# ---------------------------------------------------------------------------
+
+def test_schedule_fires_by_count_not_chance():
+    schedule = FaultSchedule([
+        FaultSpec(op="POST /lease", action="drop-request",
+                  after=2, times=1),
+    ])
+    verbs = [schedule("POST /lease") for _ in range(5)]
+    assert verbs == [None, None, "drop-request", None, None]
+    assert schedule.fired == [("POST /lease", "drop-request")]
+
+
+def test_times_zero_fires_forever():
+    schedule = FaultSchedule([
+        FaultSpec(op="GET *", action="drop-request", times=0),
+    ])
+    assert [schedule("GET /healthz") for _ in range(3)] == \
+        ["drop-request"] * 3
+
+
+def test_op_patterns_are_fnmatch():
+    schedule = FaultSchedule([
+        FaultSpec(op="broker.*", action="drop-request", times=0),
+    ])
+    assert schedule("broker.ack") == "drop-request"
+    assert schedule("POST /lease") is None
+
+
+def test_first_armed_rule_wins():
+    schedule = FaultSchedule([
+        FaultSpec(op="POST /results", action="drop-response", times=1),
+        FaultSpec(op="POST *", action="duplicate", times=0),
+    ])
+    assert schedule("POST /results") == "drop-response"
+    # Rule one is spent; rule two takes over.
+    assert schedule("POST /results") == "duplicate"
+
+
+def test_non_matching_calls_do_not_consume_counters():
+    schedule = FaultSchedule([
+        FaultSpec(op="POST /lease", action="kill", after=1),
+    ])
+    for _ in range(10):
+        assert schedule("GET /healthz") is None
+    assert schedule("POST /lease") is None       # after=1 skips this
+    with pytest.raises(WorkerKilled):
+        schedule("POST /lease")
+
+
+def test_kill_and_crash_raise_fault_injected_subclasses():
+    schedule = FaultSchedule([
+        FaultSpec(op="lease", action="kill"),
+        FaultSpec(op="ack", action="crash"),
+    ])
+    with pytest.raises(WorkerKilled):
+        schedule("lease")
+    with pytest.raises(SimulatedCrash):
+        schedule("ack")
+    assert issubclass(WorkerKilled, FaultInjected)
+    assert issubclass(SimulatedCrash, FaultInjected)
+    assert schedule.fired_actions("kill") == 1
+    assert schedule.fired_actions("crash") == 1
+
+
+def test_delay_sleeps_through_the_injected_sleep():
+    slept = []
+    schedule = FaultSchedule(
+        [FaultSpec(op="POST /lease", action="delay", delay_s=1.5)],
+        sleep=slept.append)
+    assert schedule("POST /lease") is None
+    assert slept == [1.5]
+
+
+def test_parse_accepts_plain_dicts():
+    schedule = FaultSchedule.parse([
+        {"op": "POST /lease", "action": "kill", "after": 3},
+        FaultSpec(op="POST /results", action="drop-response"),
+    ], seed=7)
+    assert schedule.seed == 7
+    assert len(schedule.specs) == 2
+    assert all(isinstance(spec, FaultSpec)
+               for spec in schedule.specs)
+
+
+def test_schedule_is_thread_safe():
+    schedule = FaultSchedule([
+        FaultSpec(op="op", action="drop-request", times=10),
+    ])
+    results = []
+
+    def hammer():
+        for _ in range(100):
+            results.append(schedule("op"))
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Exactly ten decisions fired across all threads, no more.
+    assert results.count("drop-request") == 10
+    assert len(schedule.fired) == 10
+
+
+# ---------------------------------------------------------------------------
+# Seeded corruption helpers
+# ---------------------------------------------------------------------------
+
+def test_seeded_bytes_are_deterministic_and_sized():
+    first = seeded_bytes(42, 1000, label="cache-key")
+    assert len(first) == 1000
+    assert first == seeded_bytes(42, 1000, label="cache-key")
+    assert first != seeded_bytes(43, 1000, label="cache-key")
+    assert first != seeded_bytes(42, 1000, label="other")
+
+
+def test_corrupt_cache_entry_rots_in_place(tmp_path):
+    from repro.fleet.cache import ResultCache
+    from repro.fleet.sweep import SweepSpec, SweepAxis
+    from repro.scenarios import klagenfurt
+
+    sweep = SweepSpec(
+        bases=(klagenfurt(),),
+        axes=(SweepAxis("campaign.handover_interruption_s", (30e-3,)),),
+        seeds=(1,), density=1.0)
+    run = sweep.expand()[0]
+    cache = ResultCache(tmp_path / "cache")
+    from repro.fleet import run_sweep
+    record = run_sweep(sweep, executor="serial").records[0]
+    key = run.spec_key()
+    cache.put(key, record)
+    size_before = cache.path_for(key).stat().st_size
+
+    path = corrupt_cache_entry(tmp_path / "cache", key, seed=3)
+    assert path == cache.path_for(key)
+    assert path.stat().st_size == size_before   # same-length garbage
+    # The digest check turns the rotten entry into a miss, not bad data.
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+    assert not path.exists()   # dropped so a recompute lands cleanly
+
+
+def test_corrupt_cache_entry_requires_an_existing_object(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        corrupt_cache_entry(tmp_path / "cache", "0" * 64)

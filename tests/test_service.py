@@ -7,6 +7,7 @@ coming back through serve + workers are bit-identical to a serial
 mid-fleet."""
 
 import json
+import socket
 import threading
 import time
 from urllib.error import HTTPError
@@ -28,11 +29,13 @@ from repro.fleet import (
 from repro.scenarios import klagenfurt
 from repro.service import (
     API_VERSION,
+    BrokerBusy,
     ContractError,
     FleetBroker,
     ReproService,
     ServiceClient,
     ServiceError,
+    ServiceUnavailable,
     run_worker,
 )
 from repro.service.broker import RUNS_JOB_MANIFEST
@@ -511,6 +514,236 @@ def test_worker_death_requeues_and_stays_bit_identical(
         assert len(list((fleet_dir / "runs").glob("*.json"))) == 2
     finally:
         service.stop()
+
+
+# ---------------------------------------------------------------------------
+# Readiness probe
+# ---------------------------------------------------------------------------
+
+def test_healthz_is_a_full_readiness_probe(service, client):
+    health = client.health()
+    assert health.ready and not health.draining
+    assert health.queue["fleets"] == health.fleets
+    assert {"running", "pending", "leased", "requeues"} <= \
+        set(health.queue)
+    assert health.journal["segments"] >= 1
+    assert health.journal["lag"] >= 0
+    assert health.journal["recovered_fleets"] == 0
+    assert {"hits", "misses", "stores", "corrupt"} <= set(health.cache)
+    assert health.limits["lease_ttl_s"] == 60.0
+    assert health.limits["max_fleets"] is None
+
+
+# ---------------------------------------------------------------------------
+# Idempotent submission
+# ---------------------------------------------------------------------------
+
+def test_resubmitting_the_same_submission_key_is_idempotent(
+        client, runs):
+    key = "idem-e2e-0001"
+    first = client.submit_runs([runs[0].to_dict()],
+                               submission_key=key)
+    second = client.submit_runs([runs[0].to_dict()],
+                                submission_key=key)
+    assert not first.duplicate
+    assert second.duplicate
+    assert second.fleet_id == first.fleet_id
+    assert second.total == first.total
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: bounded queues, lease rate caps, 429 + Retry-After
+# ---------------------------------------------------------------------------
+
+def test_broker_lease_rate_cap_throttles_per_worker(tmp_path, clock,
+                                                    sweep):
+    broker = FleetBroker(tmp_path / "fleets", clock=clock,
+                         lease_rate_per_s=2.0)
+    broker.submit_sweep(sweep)
+    assert broker.lease("w1") is not None
+    # A second grant inside the 0.5 s interval is refused with the
+    # remaining wait as the hint ...
+    with pytest.raises(BrokerBusy) as exc_info:
+        broker.lease("w1")
+    assert exc_info.value.retry_after_s == pytest.approx(0.5)
+    # ... but another worker has its own budget.
+    assert broker.lease("w2") is not None
+    # An idle poll against a drained queue is never rate-limited.
+    assert broker.lease("w1") is None
+
+
+def test_http_submission_limits_answer_429_with_retry_after(
+        tmp_path, runs):
+    service = ReproService(tmp_path / "root", port=0, max_fleets=1)
+    service.start()
+    try:
+        client = ServiceClient(service.url)
+        client.submit_runs([runs[0].to_dict()])   # in flight, no worker
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit_runs([runs[1].to_dict()])
+        assert exc_info.value.status == 429
+        assert exc_info.value.retry_after_s > 0
+    finally:
+        service.stop()
+
+
+def test_http_pending_queue_bound_answers_429(tmp_path, runs):
+    service = ReproService(tmp_path / "root", port=0, max_pending=1)
+    service.start()
+    try:
+        client = ServiceClient(service.url)
+        client.submit_runs([runs[0].to_dict()])
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit_runs([runs[1].to_dict()])
+        assert exc_info.value.status == 429
+        assert "queue full" in exc_info.value.message
+    finally:
+        service.stop()
+
+
+def test_http_lease_rate_cap_answers_429(tmp_path, runs):
+    service = ReproService(tmp_path / "root", port=0,
+                           lease_rate_per_s=1e-4)
+    service.start()
+    try:
+        client = ServiceClient(service.url)
+        client.submit_runs([run.to_dict() for run in runs])
+        assert client.lease("w1") is not None
+        with pytest.raises(ServiceError) as exc_info:
+            client.lease("w1")
+        assert exc_info.value.status == 429
+        assert exc_info.value.retry_after_s > 0   # header + body agree
+    finally:
+        service.stop()
+
+
+# ---------------------------------------------------------------------------
+# Drain: graceful degradation before exit
+# ---------------------------------------------------------------------------
+
+def test_drain_waits_for_inflight_then_refuses_work(
+        tmp_path, runs, serial_records):
+    service = ReproService(tmp_path / "root", port=0)
+    service.start()
+    try:
+        client = ServiceClient(service.url)
+        ack = client.submit_runs([run.to_dict() for run in runs])
+        grant = client.lease("w1")
+        record = serial_records[grant.run["run_id"]]
+
+        def finish():
+            time.sleep(0.2)
+            client.post_result(grant.lease_id, record.to_dict(),
+                               wall_s=0.1)
+
+        poster = threading.Thread(target=finish, daemon=True)
+        poster.start()
+        # Drain blocks until the checked-out lease resolves — results
+        # are still accepted while draining, new grants are not.
+        assert service.drain(wait_s=10.0)
+        poster.join(timeout=5.0)
+
+        health = client.health()
+        assert health.draining and not health.ready
+        assert client.lease("w2") is None
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit_runs([runs[0].to_dict()])
+        assert exc_info.value.status == 429
+        assert client.status(ack.fleet_id).done == 1
+        # Compacted + synced on the way down: zero replay lag.
+        assert health.journal["lag"] == 0
+    finally:
+        service.stop()
+
+
+# ---------------------------------------------------------------------------
+# Event-stream hygiene: vanished subscribers must not leak threads
+# ---------------------------------------------------------------------------
+
+def test_event_stream_reaps_dead_subscriber(tmp_path, runs):
+    service = ReproService(tmp_path / "root", port=0,
+                           stream_heartbeat_s=0.1)
+    service.start()
+    try:
+        client = ServiceClient(service.url)
+        # A fleet that never completes: no workers are running.
+        ack = client.submit_runs([run.to_dict() for run in runs])
+        host, port = service.httpd.server_address[:2]
+        conn = socket.create_connection((host, port), timeout=5.0)
+        conn.sendall((f"GET /fleets/{ack.fleet_id}/events?follow=1 "
+                      f"HTTP/1.1\r\nHost: {host}\r\n\r\n").encode())
+        conn.recv(1024)              # headers + the submitted event
+        deadline = time.monotonic() + 5.0
+        while (service.active_streams() == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        assert service.active_streams() == 1
+        # The subscriber vanishes without a word.  The idle heartbeat
+        # turns the dead socket into a send error within a few beats.
+        conn.close()
+        while (service.active_streams() > 0
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert service.active_streams() == 0
+    finally:
+        service.stop()
+
+
+def test_follow_stream_heartbeats_are_filtered_by_default(
+        completed_fleet, client):
+    fleet_id, _ = completed_fleet
+    events = list(client.events(fleet_id, follow=True))
+    assert all(event.get("event") != "heartbeat" for event in events)
+
+
+# ---------------------------------------------------------------------------
+# Worker failure modes: unreachable and nonsense servers
+# ---------------------------------------------------------------------------
+
+def test_worker_fails_cleanly_when_server_unreachable():
+    slept = []
+    with pytest.raises(ServiceUnavailable,
+                       match=r"unreachable after 2 attempt"):
+        run_worker("http://127.0.0.1:9", max_retries=2,
+                   sleep=slept.append)
+    assert len(slept) == 1   # one backoff between the two attempts
+
+
+def test_worker_survives_429_backpressure(tmp_path, runs,
+                                          serial_records):
+    """A rate-capped worker waits out the server's hint instead of
+    dying — and still drains the fleet (cache-warm, so no compute)."""
+    service = ReproService(tmp_path / "root", port=0,
+                           lease_rate_per_s=20.0)
+    service.start()
+    try:
+        for run in runs:
+            service.cache.put(run.spec_key(),
+                              serial_records[run.run_id])
+        client = ServiceClient(service.url)
+        ack = client.submit_runs([run.to_dict() for run in runs])
+        # Prefilled from the cache: already complete, the worker just
+        # needs to poll through the rate cap without crashing.
+        assert client.status(ack.fleet_id).complete
+        completed = run_worker(service.url, worker_id="patient",
+                               poll_s=0.01, max_idle_s=0.2)
+        assert completed == 0
+    finally:
+        service.stop()
+
+
+def test_cli_worker_reports_unreachable_server(capsys):
+    assert main(["worker", "--server", "http://127.0.0.1:9",
+                 "--max-retries", "1"]) == 2
+    err = capsys.readouterr().err
+    assert "unreachable" in err and "Traceback" not in err
+
+
+def test_cli_worker_rejects_malformed_server_url(capsys):
+    assert main(["worker", "--server", "not-a-url",
+                 "--max-retries", "1"]) == 2
+    err = capsys.readouterr().err
+    assert "invalid server URL" in err and "Traceback" not in err
 
 
 # ---------------------------------------------------------------------------
